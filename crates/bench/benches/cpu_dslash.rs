@@ -1,0 +1,66 @@
+//! Host-side Dslash benchmarks: the sequential reference versus the
+//! rayon-parallel implementation, and the CG solver's cost per
+//! iteration.  These measure *real* CPU performance (not simulated
+//! device time) and report effective GFLOP/s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use milc_complex::DoubleComplex;
+use milc_dslash::theoretical_flops;
+use milc_dslash::{parallel_cpu, reference};
+use milc_lattice::{ColorVector, GaugeField, Lattice, NeighborTable, Parity, QuarkField};
+
+fn bench_cpu_dslash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_dslash");
+    for l in [4usize, 8] {
+        let lattice = Lattice::hypercubic(l);
+        let gauge = GaugeField::<DoubleComplex>::random(&lattice, 11);
+        let b = QuarkField::<DoubleComplex>::random(&lattice, 12);
+        let nt = NeighborTable::build(&lattice);
+        let flops = theoretical_flops(&lattice);
+        group.throughput(Throughput::Elements(flops));
+
+        group.bench_with_input(BenchmarkId::new("sequential", l), &l, |bench, _| {
+            bench.iter(|| reference::dslash(&gauge, &b, Parity::Even))
+        });
+        let mut out = vec![ColorVector::<DoubleComplex>::zero(); lattice.half_volume()];
+        group.bench_with_input(BenchmarkId::new("rayon", l), &l, |bench, _| {
+            bench.iter(|| {
+                parallel_cpu::dslash_par_into(&gauge, &b, &nt, Parity::Even, &mut out);
+                out[0]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("optimized_fma", l), &l, |bench, _| {
+            bench.iter(|| {
+                milc_dslash::cpu_opt::dslash_opt_into(&gauge, &b, &nt, Parity::Even, &mut out);
+                out[0]
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cg_iteration(c: &mut Criterion) {
+    use milc_dslash::solver::NormalOperator;
+    let lattice = Lattice::hypercubic(8);
+    let gauge = GaugeField::<DoubleComplex>::random(&lattice, 21);
+    let mut op = NormalOperator::new(&gauge, 0.5);
+    let x: Vec<ColorVector<DoubleComplex>> = (0..lattice.half_volume())
+        .map(|i| {
+            ColorVector::new(
+                DoubleComplex::new((i % 7) as f64, 0.5),
+                DoubleComplex::new(1.0, (i % 3) as f64),
+                DoubleComplex::new(-0.25, 0.0),
+            )
+        })
+        .collect();
+    let mut out = vec![ColorVector::<DoubleComplex>::zero(); x.len()];
+    c.bench_function("cg_normal_operator_apply_L8", |b| {
+        b.iter(|| {
+            op.apply(&x, &mut out);
+            out[0]
+        })
+    });
+}
+
+criterion_group!(benches, bench_cpu_dslash, bench_cg_iteration);
+criterion_main!(benches);

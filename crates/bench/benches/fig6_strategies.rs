@@ -1,0 +1,58 @@
+//! Criterion bench regenerating Fig. 6's strategy comparison: every
+//! parallel strategy × index order is executed on the simulator, and
+//! the *simulated* A100-equivalent GFLOP/s is printed alongside the
+//! host-side simulation throughput that Criterion measures.
+//!
+//! (`cargo run -p milc-bench --bin fig6 --release` produces the full
+//! figure with all local sizes and variants; this bench tracks the
+//! per-strategy cost as a regression signal.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{DeviceSpec, QueueMode};
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config, DslashProblem, KernelConfig, Strategy};
+
+const L: usize = 8;
+
+fn bench_strategies(c: &mut Criterion) {
+    let ratio = (L as f64 / 32.0).powi(4);
+    let device = DeviceSpec::a100().scaled_for_volume_ratio(ratio);
+    let equiv = DeviceSpec::a100().num_sms as f64 / device.num_sms as f64;
+    let mut problem = DslashProblem::<DoubleComplex>::random(L, 42);
+
+    let mut group = c.benchmark_group("fig6_strategies");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        for &order in strategy.orders() {
+            let cfg = KernelConfig::new(strategy, order);
+            let hv = problem.lattice().half_volume() as u64;
+            let Some(&ls) = cfg.legal_local_sizes(hv).first() else {
+                continue;
+            };
+            // Report the simulated performance once per configuration.
+            let out = run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
+                .expect("legal configuration");
+            assert!(out.error.within_reassociation_noise());
+            println!(
+                "[simulated] {:16} @ {ls:4}: {:7.1} A100-equivalent GFLOP/s ({:.1} µs)",
+                cfg.label(),
+                out.gflops * equiv,
+                out.report.duration_us
+            );
+            group.bench_with_input(
+                BenchmarkId::new(cfg.label(), ls),
+                &cfg,
+                |b, &cfg| {
+                    b.iter(|| {
+                        run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
+                            .expect("legal configuration")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

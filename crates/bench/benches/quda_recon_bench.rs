@@ -1,0 +1,75 @@
+//! Criterion bench regenerating the Section IV-D3 QUDA study:
+//! the gauge reconstruction math itself (encode/decode per scheme) and
+//! the full tuned `staggered_dslash_test` per recon level, printing the
+//! simulated A100-equivalent GFLOP/s.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::DeviceSpec;
+use milc_complex::DoubleComplex;
+use milc_lattice::Su3;
+use quda_ref::{recon, Recon, StaggeredDslashTest};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_recon_math(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let links: Vec<Su3<DoubleComplex>> = (0..256).map(|_| Su3::random(&mut rng)).collect();
+
+    let mut group = c.benchmark_group("recon_math");
+    for scheme in [Recon::R18, Recon::R12, Recon::R9] {
+        let encoded: Vec<Vec<f64>> = links.iter().map(|m| recon::encode(m, scheme)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("decode", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for e in &encoded {
+                        let m = recon::decode(e, scheme);
+                        acc += m.e[2][2].re;
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("encode", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    links
+                        .iter()
+                        .map(|m| recon::encode(m, scheme).len())
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_staggered_dslash_test(c: &mut Criterion) {
+    const L: usize = 8;
+    let ratio = (L as f64 / 32.0).powi(4);
+    let device = DeviceSpec::a100().scaled_for_volume_ratio(ratio);
+    let equiv = DeviceSpec::a100().num_sms as f64 / device.num_sms as f64;
+
+    let mut group = c.benchmark_group("quda_staggered_dslash_test");
+    group.sample_size(10);
+    for scheme in [Recon::R18, Recon::R12, Recon::R9] {
+        let test = StaggeredDslashTest::random(L, 99, scheme);
+        let out = test.run(&device).expect("quda run");
+        println!(
+            "[simulated] QUDA {:9}: {:7.1} A100-equivalent GFLOP/s (tuned block {})",
+            scheme.label(),
+            out.gflops * equiv,
+            out.local_size
+        );
+        group.bench_with_input(BenchmarkId::new("run", scheme.label()), &scheme, |b, _| {
+            b.iter(|| test.run(&device).expect("quda run").gflops)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recon_math, bench_staggered_dslash_test);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the simulator's hot components: the coalescer,
+//! the sectored cache, the shared-memory bank model and the atomic
+//! serialization model — the per-event costs that set the simulation's
+//! own throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::atomics::model_atomic_instruction;
+use gpu_sim::cache::{Cache, CacheConfig};
+use gpu_sim::coalesce::coalesce;
+use gpu_sim::sharedmem::model_shared_instruction;
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalescer");
+    group.throughput(Throughput::Elements(32));
+    let contiguous: Vec<(u64, u8)> = (0..32).map(|i| (4096 + i * 8, 8)).collect();
+    let scattered: Vec<(u64, u8)> = (0..32).map(|i| (4096 + i * 576, 8)).collect();
+    group.bench_function("contiguous_warp", |b| {
+        b.iter(|| coalesce(&contiguous, 128, 32).sector_requests())
+    });
+    group.bench_function("scattered_warp", |b| {
+        b.iter(|| coalesce(&scattered, 128, 32).sector_requests())
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sectored_cache");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("hit_stream", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            capacity: 128 * 1024,
+            line_bytes: 128,
+            sector_bytes: 32,
+            ways: 4,
+        });
+        for i in 0..64u64 {
+            cache.access(i * 128, 0b1111);
+        }
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1024u64 {
+                hits += cache.access((i % 64) * 128, 0b1111).sector_hits;
+            }
+            hits
+        })
+    });
+    group.bench_function("thrash_stream", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            capacity: 16 * 1024,
+            line_bytes: 128,
+            sector_bytes: 32,
+            ways: 4,
+        });
+        b.iter(|| {
+            let mut misses = 0;
+            for i in 0..1024u64 {
+                misses += cache.access(i * 128, 0b1111).sector_misses;
+            }
+            misses
+        })
+    });
+    group.finish();
+}
+
+fn bench_bank_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_banks");
+    let conflict_free: Vec<(u32, u8)> = (0..32).map(|i| (i * 4, 4)).collect();
+    let four_way: Vec<(u32, u8)> = (0..32).map(|i| (i * 16, 16)).collect();
+    group.bench_function("conflict_free", |b| {
+        b.iter(|| model_shared_instruction(&conflict_free, 32, 4).wavefronts)
+    });
+    group.bench_function("four_way_conflict", |b| {
+        b.iter(|| model_shared_instruction(&four_way, 32, 4).wavefronts)
+    });
+    group.finish();
+}
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomic_model");
+    let distinct: Vec<u64> = (0..32).map(|i| 4096 + i * 8).collect();
+    let colliding: Vec<u64> = (0..32).map(|i| 4096 + (i % 8) * 16).collect();
+    group.bench_function("distinct", |b| {
+        b.iter(|| model_atomic_instruction(&distinct).passes)
+    });
+    group.bench_function("colliding", |b| {
+        b.iter(|| model_atomic_instruction(&colliding).passes)
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coalescer,
+    bench_cache,
+    bench_bank_model,
+    bench_atomics
+);
+criterion_main!(benches);

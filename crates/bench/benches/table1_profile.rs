@@ -1,0 +1,53 @@
+//! Criterion bench regenerating Table I's twelve profiled
+//! configurations (reduced lattice): each run prints the thirteen
+//! profile rows and Criterion tracks the simulation cost.
+//!
+//! (`cargo run -p milc-bench --bin table1 --release` produces the full
+//! side-by-side table against the paper's values.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{DeviceSpec, ProfileReport, QueueMode};
+use milc_bench::paper;
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config, DslashProblem, KernelConfig, Strategy};
+
+const L: usize = 8;
+
+fn bench_table1(c: &mut Criterion) {
+    let ratio = (L as f64 / 32.0).powi(4);
+    let device = DeviceSpec::a100().scaled_for_volume_ratio(ratio);
+    let mut problem = DslashProblem::<DoubleComplex>::random(L, 42);
+    let hv = problem.lattice().half_volume() as u64;
+
+    let mut group = c.benchmark_group("table1_profile");
+    group.sample_size(10);
+    for col in paper::TABLE1.iter() {
+        let cfg = KernelConfig::new(col.strategy, col.order);
+        // The paper's 768/256 need not divide the small lattice's global
+        // size; use the largest legal size instead.
+        let preferred = if col.strategy == Strategy::OneLp { 256 } else { 768 };
+        let ls = if cfg.local_size_legal(preferred, hv) {
+            preferred
+        } else {
+            *cfg.legal_local_sizes(hv).last().expect("legal size exists")
+        };
+        let out = run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
+            .expect("table 1 configuration");
+        let profile = ProfileReport::from_launch(
+            format!("{} @ {ls}", cfg.label()),
+            &out.report,
+            &device,
+        );
+        println!("{}", profile.render());
+        group.bench_with_input(BenchmarkId::new(cfg.label(), ls), &cfg, |b, &cfg| {
+            b.iter(|| {
+                run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
+                    .expect("table 1 configuration")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

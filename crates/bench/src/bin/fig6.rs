@@ -1,0 +1,110 @@
+//! Regenerates Fig. 6: GFLOP/s of every MILC-Dslash parallel strategy,
+//! index order and legal local size, the five 3LP-1 variants, and the
+//! QUDA reference line.
+//!
+//! Usage: `cargo run -p milc-bench --bin fig6 --release [L]`
+//! (default L = 16, volume-matched device; `fig6 32` is the full paper
+//! scale).  Writes `results/fig6.csv` and prints the series summary.
+
+use milc_bench::{
+    best_of, best_of_order, extension_compressed_3lp1, fig6_strategies, fig6_variants,
+    quda_recons, rows_to_csv, Experiment,
+};
+use milc_complex::{Cplx, DoubleComplex};
+use milc_dslash::{DslashProblem, IndexOrder};
+
+fn main() {
+    let l: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("lattice size must be an integer"))
+        .unwrap_or(16);
+    let exp = Experiment::new(l, 2024);
+    eprintln!(
+        "Fig. 6 sweep: L = {l} on {} ({} SMs, {:.1} MB L2)",
+        exp.device.name,
+        exp.device.num_sms,
+        exp.device.l2_bytes as f64 / 1e6
+    );
+
+    eprintln!("packing problem (double_complex) ...");
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, exp.seed);
+    eprintln!("packing problem (SyclCPLX) ...");
+    let mut problem_cplx = DslashProblem::<Cplx>::random(l, exp.seed);
+
+    eprintln!("running strategy sweep ...");
+    let mut rows = fig6_strategies(&exp, &mut problem);
+    eprintln!("running 3LP-1 variants ...");
+    rows.extend(fig6_variants(&exp, &mut problem, &mut problem_cplx));
+
+    eprintln!("running compressed-gauge extension ...");
+    rows.extend(extension_compressed_3lp1(&exp));
+
+    eprintln!("running QUDA baseline ...");
+    let quda = quda_recons(&exp);
+
+    // CSV output.
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut csv = rows_to_csv(&rows);
+    for (recon, gflops, ls) in &quda {
+        csv.push_str(&format!("QUDA {},-,{ls},{gflops:.1},,,true,\n", recon.label()));
+    }
+    std::fs::write("results/fig6.csv", &csv).expect("write results/fig6.csv");
+
+    // Console summary: best point per series (the figure's envelope).
+    println!("\n=== Fig. 6 summary (A100-equivalent GFLOP/s, best local size per series) ===");
+    let series: Vec<(&str, Option<IndexOrder>)> = vec![
+        ("1LP", None),
+        ("2LP", None),
+        ("3LP-1", Some(IndexOrder::KMajor)),
+        ("3LP-1", Some(IndexOrder::IMajor)),
+        ("3LP-2", Some(IndexOrder::KMajor)),
+        ("3LP-2", Some(IndexOrder::IMajor)),
+        ("3LP-3", Some(IndexOrder::KMajor)),
+        ("3LP-3", Some(IndexOrder::IMajor)),
+        ("4LP-1", Some(IndexOrder::KMajor)),
+        ("4LP-1", Some(IndexOrder::IMajor)),
+        ("4LP-2", Some(IndexOrder::LMajor)),
+        ("4LP-2", Some(IndexOrder::IMajor)),
+        ("3LP-1 SyclCPLX", None),
+        ("3LP-1 CUDA", None),
+        ("3LP-1 CUDA maxrreg=64", None),
+        ("3LP-1 SYCLomatic", None),
+        ("3LP-1 SYCLomatic opt", None),
+        ("3LP-1 recon 12 (ext)", None),
+        ("3LP-1 recon 9 (ext)", None),
+    ];
+    for (name, order) in series {
+        let best = match order {
+            Some(o) => best_of_order(&rows, name, o),
+            None => best_of(&rows, name),
+        };
+        if let Some(b) = best {
+            println!(
+                "{:28} {:>9}  best @ {:4}  {:7.1} GFLOP/s  (occ {:4.1}%, validated: {})",
+                name,
+                order.map_or("", |o| o.name()),
+                b.local_size,
+                b.gflops,
+                b.occupancy_pct,
+                b.validated
+            );
+        }
+    }
+    println!();
+    for (recon, gflops, ls) in &quda {
+        println!(
+            "QUDA staggered_dslash_test {:9}  tuned @ {ls:4}  {gflops:7.1} GFLOP/s",
+            recon.label()
+        );
+    }
+    println!("\nfull sweep written to results/fig6.csv ({} rows)", rows.len());
+
+    // Validation gate: every point must have matched the CPU reference.
+    let bad: Vec<_> = rows.iter().filter(|r| !r.validated).collect();
+    if !bad.is_empty() {
+        for b in &bad {
+            eprintln!("VALIDATION FAILURE: {} @ {}: rel {}", b.series, b.local_size, b.max_rel_error);
+        }
+        std::process::exit(1);
+    }
+}

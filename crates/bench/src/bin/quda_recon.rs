@@ -1,0 +1,41 @@
+//! Regenerates the Section IV-D3 QUDA numbers: `staggered_dslash_test`
+//! at recon 18 / 12 / 9, autotuned, A100-equivalent GFLOP/s.
+//!
+//! Usage: `cargo run -p milc-bench --bin quda_recon --release [L]`
+
+use milc_bench::{paper, quda_recons, Experiment};
+use quda_ref::Recon;
+
+fn main() {
+    let l: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("lattice size must be an integer"))
+        .unwrap_or(16);
+    let exp = Experiment::new(l, 2024);
+    eprintln!("QUDA recon sweep: L = {l} on {}", exp.device.name);
+
+    let results = quda_recons(&exp);
+    println!("\n=== QUDA staggered_dslash_test (Section IV-D3) ===\n");
+    println!("{:10} {:>12} {:>14} {:>14}", "recon", "tuned block", "paper GF/s", "sim GF/s");
+    for (recon, gflops, ls) in &results {
+        let paper_val = match recon {
+            Recon::R18 => paper::QUDA_RECON18_GFLOPS,
+            Recon::R12 => paper::QUDA_RECON12_GFLOPS,
+            Recon::R9 => paper::QUDA_RECON9_GFLOPS,
+        };
+        println!("{:10} {:>12} {:>14.1} {:>14.1}", recon.label(), ls, paper_val, gflops);
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut csv = String::from("recon,tuned_block,paper_gflops,sim_gflops\n");
+    for (recon, gflops, ls) in &results {
+        let paper_val = match recon {
+            Recon::R18 => paper::QUDA_RECON18_GFLOPS,
+            Recon::R12 => paper::QUDA_RECON12_GFLOPS,
+            Recon::R9 => paper::QUDA_RECON9_GFLOPS,
+        };
+        csv.push_str(&format!("{},{ls},{paper_val},{gflops:.1}\n", recon.label()));
+    }
+    std::fs::write("results/quda_recon.csv", csv).expect("write results/quda_recon.csv");
+    println!("\nwritten to results/quda_recon.csv");
+}

@@ -1,0 +1,84 @@
+//! Regenerates Table I: the Nsight-Compute-style profile of the twelve
+//! kernel configurations (local size 768; 256 for 1LP), side by side
+//! with the paper's published values.
+//!
+//! Usage: `cargo run -p milc-bench --bin table1 --release [L]`
+//! (default L = 16 on the volume-matched device; `table1 32` runs the
+//! full paper scale on the unscaled A100 model).
+//! Writes `results/table1.csv`.
+
+use milc_bench::{paper, table1_profiles, Experiment};
+use milc_complex::DoubleComplex;
+use milc_dslash::DslashProblem;
+
+fn main() {
+    let l: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("lattice size must be an integer"))
+        .unwrap_or(16);
+    let exp = Experiment::new(l, 2024);
+    eprintln!(
+        "Table I profile: L = {l} on {} ({} SMs)",
+        exp.device.name, exp.device.num_sms
+    );
+    eprintln!("packing problem ...");
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, exp.seed);
+
+    eprintln!("profiling 12 configurations ...");
+    let profiles = table1_profiles(&exp, &mut problem);
+
+    println!("\n=== Table I (simulated) ===\n");
+    println!("{}", gpu_sim::profile::render_table(&profiles));
+
+    // Counter magnitudes scale with the simulated volume; scale them to
+    // A100-equivalents for the side-by-side columns.
+    let count_scale = 1.0 / exp.volume_ratio;
+    println!("=== paper vs measured (key rows) ===\n");
+    println!(
+        "{:12} {:>12} {:>12} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>9} {:>9}",
+        "config", "paper µs", "sim µs", "occ p", "occ s", "L1m p", "L1m s", "L2m p", "L2m s", "tags p", "tags s"
+    );
+    for (col, prof) in paper::TABLE1.iter().zip(&profiles) {
+        println!(
+            "{:12} {:>12.1} {:>12.1} | {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {:>7.1} {:>7.1} | {:>8.0}M {:>8.0}M",
+            prof.label,
+            col.duration_us,
+            prof.duration_us,
+            col.occupancy_pct,
+            prof.occupancy_pct,
+            col.l1_miss_pct,
+            prof.l1_miss_pct,
+            col.l2_miss_pct,
+            prof.l2_miss_pct,
+            col.l1_tag_requests / 1e6,
+            prof.l1_tag_requests as f64 * count_scale / 1e6,
+        );
+    }
+
+    // CSV.
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut csv = String::from(
+        "config,paper_duration_us,sim_duration_us,paper_occ_pct,sim_occ_pct,paper_l1_miss,sim_l1_miss,paper_l2_miss,sim_l2_miss,paper_tags,sim_tags_equiv,sim_shared_wavefronts_equiv,sim_excessive_equiv,sim_divergent\n",
+    );
+    for (col, prof) in paper::TABLE1.iter().zip(&profiles) {
+        csv.push_str(&format!(
+            "{},{},{:.1},{},{:.1},{},{:.1},{},{:.1},{:.0},{:.0},{:.0},{:.0},{:.0}\n",
+            prof.label,
+            col.duration_us,
+            prof.duration_us,
+            col.occupancy_pct,
+            prof.occupancy_pct,
+            col.l1_miss_pct,
+            prof.l1_miss_pct,
+            col.l2_miss_pct,
+            prof.l2_miss_pct,
+            col.l1_tag_requests,
+            prof.l1_tag_requests as f64 * count_scale,
+            prof.shared_wavefronts as f64 * count_scale,
+            prof.excessive_wavefronts as f64 * count_scale,
+            prof.avg_divergent_branches,
+        ));
+    }
+    std::fs::write("results/table1.csv", csv).expect("write results/table1.csv");
+    println!("\nwritten to results/table1.csv");
+}

@@ -1,0 +1,399 @@
+//! Shared experiment machinery: the Fig. 6 sweep, the Table I profile
+//! run, the QUDA recon sweep and the timing-model calibration.
+
+use crate::paper;
+use gpu_sim::timing::CalibrationSample;
+use gpu_sim::{DeviceSpec, ProfileReport, QueueMode};
+use milc_complex::{Cplx, ComplexField, DoubleComplex};
+use milc_dslash::{
+    run_config_warm, DslashProblem, IndexOrder, KernelConfig, RunOutcome, Strategy,
+};
+use quda_ref::{Recon, StaggeredDslashTest};
+
+/// An experiment context: lattice size, matched device, seed.
+///
+/// Running below the paper's L = 32 uses
+/// [`DeviceSpec::scaled_for_volume_ratio`] so occupancy waves and cache
+/// capacity pressure match the full-size run; GFLOP/s are reported
+/// *A100-equivalent* (divided by the volume ratio), directly comparable
+/// to the paper's axes.
+pub struct Experiment {
+    /// Hypercubic lattice extent.
+    pub l: usize,
+    /// The (possibly scaled) device.
+    pub device: DeviceSpec,
+    /// `(l / 32)^4`.
+    pub volume_ratio: f64,
+    /// Field seed.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Experiment at lattice size `l` on a volume-matched A100 model.
+    pub fn new(l: usize, seed: u64) -> Self {
+        let ratio = (l as f64 / 32.0).powi(4);
+        let device = if l == 32 {
+            DeviceSpec::a100()
+        } else {
+            DeviceSpec::a100().scaled_for_volume_ratio(ratio)
+        };
+        Self {
+            l,
+            device,
+            volume_ratio: ratio,
+            seed,
+        }
+    }
+
+    /// The default reduced-size experiment (L = 16, 1/16 of the paper's
+    /// volume — minutes instead of hours on a laptop-class host).
+    pub fn default_small(seed: u64) -> Self {
+        Self::new(16, seed)
+    }
+
+    /// The full paper-scale experiment (L = 32, unscaled A100).
+    pub fn full(seed: u64) -> Self {
+        Self::new(32, seed)
+    }
+
+    /// Factor converting measured GFLOP/s to A100-equivalent GFLOP/s.
+    ///
+    /// Durations on the volume-matched device equal full-scale durations
+    /// up to the rounding of the SM count, so the exact equivalence
+    /// factor is the SM ratio (108 / scaled SMs), not the volume ratio —
+    /// at L = 16 they differ by ~4% (7 SMs vs 6.75).
+    pub fn a100_equiv_factor(&self) -> f64 {
+        DeviceSpec::a100().num_sms as f64 / self.device.num_sms as f64
+    }
+}
+
+/// One point of the Fig. 6 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Series label (strategy or variant name).
+    pub series: String,
+    /// Index order, if the series distinguishes one.
+    pub order: Option<IndexOrder>,
+    /// Work-group size.
+    pub local_size: u32,
+    /// A100-equivalent GFLOP/s (the paper's y-axis).
+    pub gflops: f64,
+    /// Kernel duration, µs.
+    pub duration_us: f64,
+    /// Achieved occupancy, %.
+    pub occupancy_pct: f64,
+    /// Whether the result matched the CPU reference.
+    pub validated: bool,
+    /// Max relative error vs the reference.
+    pub max_rel_error: f64,
+}
+
+impl SweepRow {
+    fn from_outcome(series: String, order: Option<IndexOrder>, out: &RunOutcome, exp: &Experiment) -> Self {
+        Self {
+            series,
+            order,
+            local_size: out.report.range.local,
+            gflops: out.gflops * exp.a100_equiv_factor(),
+            duration_us: out.report.duration_us,
+            occupancy_pct: 100.0 * out.report.occupancy.achieved,
+            validated: out.error.rel < 1e-8,
+            max_rel_error: out.error.rel,
+        }
+    }
+}
+
+/// Run every strategy x index order x legal local size (the main body
+/// of Fig. 6), with the hand-written kernels' default out-of-order
+/// queue.
+pub fn fig6_strategies<C: ComplexField>(
+    exp: &Experiment,
+    problem: &mut DslashProblem<C>,
+) -> Vec<SweepRow> {
+    let hv = problem.lattice().half_volume() as u64;
+    let mut rows = Vec::new();
+    for strategy in Strategy::ALL {
+        for &order in strategy.orders() {
+            let cfg = KernelConfig::new(strategy, order);
+            for ls in cfg.legal_local_sizes(hv) {
+                let out = run_config_warm(problem, cfg, ls, &exp.device, QueueMode::OutOfOrder)
+                    .expect("legal configuration must launch");
+                rows.push(SweepRow::from_outcome(
+                    strategy.name().to_string(),
+                    Some(order),
+                    &out,
+                    exp,
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// The five additional 3LP-1 implementations of Section IV-C (the gray
+/// shaded area of Fig. 6), swept over the k-major local sizes.
+pub fn fig6_variants(
+    exp: &Experiment,
+    problem_dc: &mut DslashProblem<DoubleComplex>,
+    problem_cplx: &mut DslashProblem<Cplx>,
+) -> Vec<SweepRow> {
+    let hv = problem_dc.lattice().half_volume() as u64;
+    let base = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let sizes = base.legal_local_sizes(hv);
+    let mut rows = Vec::new();
+
+    // (1) SyclCPLX: same kernel, library complex type, default queue.
+    for &ls in &sizes {
+        let out = run_config_warm(problem_cplx, base, ls, &exp.device, QueueMode::OutOfOrder)
+            .expect("legal configuration");
+        rows.push(SweepRow::from_outcome(
+            "3LP-1 SyclCPLX".into(),
+            Some(IndexOrder::KMajor),
+            &out,
+            exp,
+        ));
+    }
+
+    // (2) CUDA port: in-order stream, default register allocation
+    //     (spills present).
+    for &ls in &sizes {
+        let out = run_config_warm(problem_dc, base, ls, &exp.device, QueueMode::InOrder)
+            .expect("legal configuration");
+        rows.push(SweepRow::from_outcome(
+            "3LP-1 CUDA".into(),
+            Some(IndexOrder::KMajor),
+            &out,
+            exp,
+        ));
+    }
+
+    // (3) CUDA with -maxrregcount 64: the register cap eliminates the
+    //     spill traffic (Section IV-D4).
+    let capped = KernelConfig {
+        spills_per_item: 0,
+        ..base
+    };
+    for &ls in &sizes {
+        let out = run_config_warm(problem_dc, capped, ls, &exp.device, QueueMode::InOrder)
+            .expect("legal configuration");
+        rows.push(SweepRow::from_outcome(
+            "3LP-1 CUDA maxrreg=64".into(),
+            Some(IndexOrder::KMajor),
+            &out,
+            exp,
+        ));
+    }
+
+    // (4) SYCLomatic raw output: composed indexing, in-order queue.
+    let (style_raw, queue_raw) = syclomatic_sim::migrated_3lp1_style(false);
+    let raw = KernelConfig {
+        index_style: style_raw,
+        ..base
+    };
+    for &ls in &sizes {
+        let out =
+            run_config_warm(problem_dc, raw, ls, &exp.device, queue_raw).expect("legal configuration");
+        rows.push(SweepRow::from_outcome(
+            "3LP-1 SYCLomatic".into(),
+            Some(IndexOrder::KMajor),
+            &out,
+            exp,
+        ));
+    }
+
+    // (5) SYCLomatic optimized: direct get_global_id(), in-order queue.
+    let (style_opt, queue_opt) = syclomatic_sim::migrated_3lp1_style(true);
+    let opt = KernelConfig {
+        index_style: style_opt,
+        ..base
+    };
+    for &ls in &sizes {
+        let out =
+            run_config_warm(problem_dc, opt, ls, &exp.device, queue_opt).expect("legal configuration");
+        rows.push(SweepRow::from_outcome(
+            "3LP-1 SYCLomatic opt".into(),
+            Some(IndexOrder::KMajor),
+            &out,
+            exp,
+        ));
+    }
+
+    rows
+}
+
+/// The compressed-gauge *extension* series: the paper's 3LP-1 kernel
+/// with QUDA-style gauge compression — "not a current feature of our
+/// SYCL implementation" (Section IV-D3) — swept over the k-major local
+/// sizes.  Not part of Fig. 6; reported as an extension row.
+pub fn extension_compressed_3lp1(exp: &Experiment) -> Vec<SweepRow> {
+    use milc_lattice::recon::Recon;
+    let base = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let mut rows = Vec::new();
+    for recon in [Recon::R12, Recon::R9] {
+        let mut problem =
+            DslashProblem::<DoubleComplex>::random_with_recon(exp.l, exp.seed, recon);
+        let hv = problem.lattice().half_volume() as u64;
+        for ls in base.legal_local_sizes(hv) {
+            let out = run_config_warm(&mut problem, base, ls, &exp.device, QueueMode::OutOfOrder)
+                .expect("legal configuration");
+            assert!(
+                out.error.rel < problem.validation_tolerance(),
+                "compressed 3LP-1 {recon:?} invalid: {:?}",
+                out.error
+            );
+            let mut row = SweepRow::from_outcome(
+                format!("3LP-1 {} (ext)", recon.label()),
+                Some(IndexOrder::KMajor),
+                &out,
+                exp,
+            );
+            row.validated = out.error.rel < problem.validation_tolerance();
+            row.max_rel_error = out.error.rel;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Run the QUDA baseline for the three recon schemes (the Fig. 6
+/// reference line and the Section IV-D3 table).
+pub fn quda_recons(exp: &Experiment) -> Vec<(Recon, f64, u32)> {
+    [Recon::R18, Recon::R12, Recon::R9]
+        .into_iter()
+        .map(|recon| {
+            let t = StaggeredDslashTest::random(exp.l, exp.seed, recon);
+            let out = t.run(&exp.device).expect("quda baseline runs");
+            assert!(
+                out.error.rel < recon.tolerance(),
+                "QUDA {recon:?} mismatch: {:?}",
+                out.error
+            );
+            (recon, out.gflops * exp.a100_equiv_factor(), out.local_size)
+        })
+        .collect()
+}
+
+/// Run the twelve Table I configurations and produce profile reports in
+/// the paper's column order.
+pub fn table1_profiles(
+    exp: &Experiment,
+    problem: &mut DslashProblem<DoubleComplex>,
+) -> Vec<ProfileReport> {
+    paper::TABLE1
+        .iter()
+        .map(|col| {
+            let cfg = KernelConfig::new(col.strategy, col.order);
+            let ls = paper::table1_local_size(col.strategy);
+            let out = run_config_warm(problem, cfg, ls, &exp.device, QueueMode::OutOfOrder)
+                .expect("table 1 configuration must launch");
+            assert!(
+                out.error.rel < 1e-8,
+                "{} result mismatch: {:?}",
+                cfg.label(),
+                out.error
+            );
+            let label = match col.strategy {
+                Strategy::OneLp | Strategy::TwoLp => col.strategy.name().to_string(),
+                _ => format!("{} {}", col.strategy.name(), short_order(col.order)),
+            };
+            ProfileReport::from_launch(label, &out.report, &exp.device)
+        })
+        .collect()
+}
+
+fn short_order(order: IndexOrder) -> &'static str {
+    match order {
+        IndexOrder::KMajor => "k",
+        IndexOrder::IMajor => "i",
+        IndexOrder::LMajor => "l",
+    }
+}
+
+/// Build calibration samples: our measured counters for each Table I
+/// configuration against the paper's measured duration.  Durations are
+/// scale-invariant under the volume-matched device, so the paper's
+/// microseconds are used as-is.
+pub fn calibration_samples(
+    exp: &Experiment,
+    problem: &mut DslashProblem<DoubleComplex>,
+) -> Vec<CalibrationSample> {
+    paper::TABLE1
+        .iter()
+        .map(|col| {
+            let cfg = KernelConfig::new(col.strategy, col.order);
+            let ls = paper::table1_local_size(col.strategy);
+            let out = run_config_warm(problem, cfg, ls, &exp.device, QueueMode::OutOfOrder)
+                .expect("calibration configuration must launch");
+            CalibrationSample {
+                counters: out.report.counters,
+                occupancy: out.report.occupancy,
+                target_us: col.duration_us,
+            }
+        })
+        .collect()
+}
+
+/// QUDA calibration samples: the three recon schemes' counters against
+/// the durations implied by the paper's GFLOP/s (Section IV-D3).
+/// Including them alongside the twelve Table I samples pins down the
+/// split between per-transaction and per-instruction cost that the SYCL
+/// configurations alone leave underdetermined (they all share nearly the
+/// same bytes-per-instruction ratio; QUDA's vectorized, compressed loads
+/// do not).
+pub fn quda_calibration_samples(exp: &Experiment) -> Vec<CalibrationSample> {
+    [
+        (Recon::R18, paper::QUDA_RECON18_GFLOPS),
+        (Recon::R12, paper::QUDA_RECON12_GFLOPS),
+        (Recon::R9, paper::QUDA_RECON9_GFLOPS),
+    ]
+    .into_iter()
+    .map(|(recon, gflops)| {
+        let t = StaggeredDslashTest::random(exp.l, exp.seed, recon);
+        let out = t.run(&exp.device).expect("quda calibration run");
+        CalibrationSample {
+            counters: out.report.counters,
+            occupancy: out.report.occupancy,
+            target_us: paper::PAPER_FLOPS / gflops / 1e3,
+        }
+    })
+    .collect()
+}
+
+/// Format sweep rows as CSV (`series,order,local_size,gflops,...`).
+pub fn rows_to_csv(rows: &[SweepRow]) -> String {
+    let mut s = String::from(
+        "series,order,local_size,gflops_a100_equiv,duration_us,occupancy_pct,validated,max_rel_error\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{},{},{},{:.1},{:.1},{:.1},{},{:.3e}\n",
+            r.series,
+            r.order.map_or("-", |o| o.name()),
+            r.local_size,
+            r.gflops,
+            r.duration_us,
+            r.occupancy_pct,
+            r.validated,
+            r.max_rel_error
+        ));
+    }
+    s
+}
+
+/// The best (max-GFLOP/s) row of a series.
+pub fn best_of<'a>(rows: &'a [SweepRow], series: &str) -> Option<&'a SweepRow> {
+    rows.iter()
+        .filter(|r| r.series == series)
+        .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).expect("finite"))
+}
+
+/// The best row of a series restricted to one index order.
+pub fn best_of_order<'a>(
+    rows: &'a [SweepRow],
+    series: &str,
+    order: IndexOrder,
+) -> Option<&'a SweepRow> {
+    rows.iter()
+        .filter(|r| r.series == series && r.order == Some(order))
+        .max_by(|a, b| a.gflops.partial_cmp(&b.gflops).expect("finite"))
+}

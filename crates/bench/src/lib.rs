@@ -1,0 +1,23 @@
+//! Benchmark harness regenerating every evaluation artifact of the
+//! paper:
+//!
+//! | Paper artifact | Binary | Criterion bench |
+//! |---|---|---|
+//! | Fig. 6 (GFLOP/s per strategy / order / local size / variant) | `cargo run -p milc-bench --bin fig6 --release` | `benches/fig6_strategies.rs` |
+//! | Table I (Nsight profile, 12 configs) | `... --bin table1 --release` | `benches/table1_profile.rs` |
+//! | §IV-D3 QUDA recon 18/12/9 | `... --bin quda_recon --release` | `benches/quda_recon.rs` |
+//! | Timing-model fit (Table I durations) | `... --bin calibrate --release` | — |
+//! | CPU Dslash (sequential vs rayon) | — | `benches/cpu_dslash.rs` |
+//!
+//! Binaries accept an optional lattice size argument (`fig6 16`,
+//! `table1 32` …); the default L = 16 runs on a volume-matched device
+//! model and reports A100-equivalent numbers (see
+//! [`harness::Experiment`]).
+
+pub mod harness;
+pub mod paper;
+
+pub use harness::{
+    best_of, best_of_order, calibration_samples, extension_compressed_3lp1, fig6_strategies,
+    fig6_variants, quda_recons, rows_to_csv, table1_profiles, Experiment, SweepRow,
+};

@@ -1,0 +1,320 @@
+//! The paper's published numbers, embedded for calibration and for the
+//! paper-vs-measured comparisons in `EXPERIMENTS.md`.
+//!
+//! Source: Dufek et al., "Optimizing MILC-Dslash Performance on NVIDIA
+//! A100 GPU: Parallel Strategies using SYCL", SC 2024 — Table I and
+//! Sections IV-D3…IV-D9.
+
+use milc_dslash::{IndexOrder, Strategy};
+
+/// One Table I column: a kernel configuration and its measured metrics
+/// on the real A100 (local size 768; 256 for 1LP).
+#[derive(Copy, Clone, Debug)]
+pub struct Table1Column {
+    /// Strategy.
+    pub strategy: Strategy,
+    /// Index order.
+    pub order: IndexOrder,
+    /// Row 1: duration, µs.
+    pub duration_us: f64,
+    /// Row 2: global size (work-items).
+    pub work_items: f64,
+    /// Row 3: SM throughput, %.
+    pub sm_throughput_pct: f64,
+    /// Row 4: achieved occupancy, %.
+    pub occupancy_pct: f64,
+    /// Row 5: % of empirical peak.
+    pub peak_pct: f64,
+    /// Row 7: L1 miss rate, %.
+    pub l1_miss_pct: f64,
+    /// Row 8: L2 miss rate, %.
+    pub l2_miss_pct: f64,
+    /// Row 9: dynamic shared memory per group, KB.
+    pub shared_kb: f64,
+    /// Row 10: L1 tag requests (global), absolute.
+    pub l1_tag_requests: f64,
+    /// Row 11: shared wavefronts, absolute.
+    pub shared_wavefronts: f64,
+    /// Row 12: excessive shared wavefronts, absolute.
+    pub excessive_wavefronts: f64,
+    /// Row 13: average divergent branches.
+    pub divergent_branches: f64,
+}
+
+/// Table I of the paper, all twelve configurations.
+pub const TABLE1: [Table1Column; 12] = [
+    Table1Column {
+        strategy: Strategy::OneLp,
+        order: IndexOrder::KMajor,
+        duration_us: 1821.3,
+        work_items: 0.5e6,
+        sm_throughput_pct: 4.4,
+        occupancy_pct: 47.6,
+        peak_pct: 4.0,
+        l1_miss_pct: 37.4,
+        l2_miss_pct: 31.2,
+        shared_kb: 0.0,
+        l1_tag_requests: 190e6,
+        shared_wavefronts: 0.0,
+        excessive_wavefronts: 0.0,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::TwoLp,
+        order: IndexOrder::KMajor,
+        duration_us: 1078.6,
+        work_items: 1.6e6,
+        sm_throughput_pct: 11.0,
+        occupancy_pct: 72.7,
+        peak_pct: 7.0,
+        l1_miss_pct: 31.9,
+        l2_miss_pct: 38.6,
+        shared_kb: 0.0,
+        l1_tag_requests: 121e6,
+        shared_wavefronts: 0.0,
+        excessive_wavefronts: 0.0,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::ThreeLp1,
+        order: IndexOrder::KMajor,
+        duration_us: 929.2,
+        work_items: 6.3e6,
+        sm_throughput_pct: 12.7,
+        occupancy_pct: 74.0,
+        peak_pct: 8.0,
+        l1_miss_pct: 26.9,
+        l2_miss_pct: 51.1,
+        shared_kb: 12.3,
+        l1_tag_requests: 86e6,
+        shared_wavefronts: 4.7e6,
+        excessive_wavefronts: 2.4e6,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::ThreeLp1,
+        order: IndexOrder::IMajor,
+        duration_us: 912.9,
+        work_items: 6.3e6,
+        sm_throughput_pct: 12.9,
+        occupancy_pct: 73.7,
+        peak_pct: 8.0,
+        l1_miss_pct: 25.4,
+        l2_miss_pct: 49.8,
+        shared_kb: 12.3,
+        l1_tag_requests: 101e6,
+        shared_wavefronts: 7.9e6,
+        excessive_wavefronts: 5.5e6,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::ThreeLp2,
+        order: IndexOrder::KMajor,
+        duration_us: 971.5,
+        work_items: 6.3e6,
+        sm_throughput_pct: 10.8,
+        occupancy_pct: 70.3,
+        peak_pct: 8.0,
+        l1_miss_pct: 28.7,
+        l2_miss_pct: 47.1,
+        shared_kb: 12.3,
+        l1_tag_requests: 87e6,
+        shared_wavefronts: 1.6e6,
+        excessive_wavefronts: 0.8e6,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::ThreeLp2,
+        order: IndexOrder::IMajor,
+        duration_us: 996.4,
+        work_items: 6.3e6,
+        sm_throughput_pct: 11.2,
+        occupancy_pct: 70.7,
+        peak_pct: 7.0,
+        l1_miss_pct: 26.3,
+        l2_miss_pct: 47.3,
+        shared_kb: 12.3,
+        l1_tag_requests: 101e6,
+        shared_wavefronts: 1.6e6,
+        excessive_wavefronts: 0.8e6,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::ThreeLp3,
+        order: IndexOrder::KMajor,
+        duration_us: 981.3,
+        work_items: 6.3e6,
+        sm_throughput_pct: 10.2,
+        occupancy_pct: 66.3,
+        peak_pct: 7.0,
+        l1_miss_pct: 32.6,
+        l2_miss_pct: 42.5,
+        shared_kb: 0.0,
+        l1_tag_requests: 89e6,
+        shared_wavefronts: 0.0,
+        excessive_wavefronts: 0.0,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::ThreeLp3,
+        order: IndexOrder::IMajor,
+        duration_us: 988.6,
+        work_items: 6.3e6,
+        sm_throughput_pct: 10.6,
+        occupancy_pct: 66.5,
+        peak_pct: 7.0,
+        l1_miss_pct: 30.7,
+        l2_miss_pct: 41.9,
+        shared_kb: 0.0,
+        l1_tag_requests: 103e6,
+        shared_wavefronts: 0.0,
+        excessive_wavefronts: 0.0,
+        divergent_branches: 0.0,
+    },
+    Table1Column {
+        strategy: Strategy::FourLp1,
+        order: IndexOrder::KMajor,
+        duration_us: 1187.3,
+        work_items: 25.2e6,
+        sm_throughput_pct: 30.6,
+        occupancy_pct: 72.0,
+        peak_pct: 6.0,
+        l1_miss_pct: 24.0,
+        l2_miss_pct: 56.9,
+        shared_kb: 12.3,
+        l1_tag_requests: 120e6,
+        shared_wavefronts: 21.0e6,
+        excessive_wavefronts: 8.4e6,
+        divergent_branches: 5461.0,
+    },
+    Table1Column {
+        strategy: Strategy::FourLp1,
+        order: IndexOrder::IMajor,
+        duration_us: 1287.8,
+        work_items: 25.2e6,
+        sm_throughput_pct: 27.9,
+        occupancy_pct: 72.2,
+        peak_pct: 5.0,
+        l1_miss_pct: 23.0,
+        l2_miss_pct: 57.5,
+        shared_kb: 12.3,
+        l1_tag_requests: 140e6,
+        shared_wavefronts: 25.2e6,
+        excessive_wavefronts: 12.6e6,
+        divergent_branches: 5461.0,
+    },
+    Table1Column {
+        strategy: Strategy::FourLp2,
+        order: IndexOrder::LMajor,
+        duration_us: 1353.5,
+        work_items: 25.2e6,
+        sm_throughput_pct: 34.2,
+        occupancy_pct: 72.3,
+        peak_pct: 5.0,
+        l1_miss_pct: 23.5,
+        l2_miss_pct: 56.3,
+        shared_kb: 12.3,
+        l1_tag_requests: 123e6,
+        shared_wavefronts: 26.2e6,
+        excessive_wavefronts: 11.0e6,
+        divergent_branches: 7281.0,
+    },
+    Table1Column {
+        strategy: Strategy::FourLp2,
+        order: IndexOrder::IMajor,
+        duration_us: 1463.8,
+        work_items: 25.2e6,
+        sm_throughput_pct: 27.9,
+        occupancy_pct: 72.4,
+        peak_pct: 5.0,
+        l1_miss_pct: 22.9,
+        l2_miss_pct: 57.2,
+        shared_kb: 12.3,
+        l1_tag_requests: 124e6,
+        shared_wavefronts: 46.1e6,
+        excessive_wavefronts: 30.9e6,
+        divergent_branches: 7281.0,
+    },
+];
+
+/// Local size used by Table I (256 for 1LP, 768 otherwise).
+pub fn table1_local_size(strategy: Strategy) -> u32 {
+    if strategy == Strategy::OneLp {
+        256
+    } else {
+        768
+    }
+}
+
+/// QUDA `staggered_dslash_test` on the A100 (Section IV-D3), GFLOP/s.
+pub const QUDA_RECON18_GFLOPS: f64 = 633.7;
+/// QUDA with recon 12.
+pub const QUDA_RECON12_GFLOPS: f64 = 728.0;
+/// QUDA with recon 9.
+pub const QUDA_RECON9_GFLOPS: f64 = 825.0;
+
+/// The paper's theoretical FLOP count at L = 32.
+pub const PAPER_FLOPS: f64 = 600.8e6;
+
+/// Headline claim bands (Section IV-D / V).
+pub mod claims {
+    /// 3LP-1 speedup over 1LP ("2x speedup over 1LP").
+    pub const SPEEDUP_3LP1_OVER_1LP: f64 = 2.0;
+    /// Best 3LP-1 variant over QUDA recon-18 ("maximum improvement of
+    /// 10.2%").
+    pub const BEST_OVER_QUDA_PCT: f64 = 10.2;
+    /// 3LP-2 atomics penalty bound ("up to 8.4%").
+    pub const MAX_3LP2_PENALTY_PCT: f64 = 8.4;
+    /// 3LP-3 atomics penalty bound ("7.4%").
+    pub const MAX_3LP3_PENALTY_PCT: f64 = 7.4;
+    /// 4LP-1 slowdown versus 3LP-1 ("13.2–29.0%").
+    pub const FOURLP1_SLOWDOWN_PCT: (f64, f64) = (13.2, 29.0);
+    /// 4LP-2 l-major advantage over i-major ("8.2–11.0%").
+    pub const FOURLP2_LMAJOR_ADV_PCT: (f64, f64) = (8.2, 11.0);
+    /// In-order queue advantage ("1.5% to 6.7%").
+    pub const IN_ORDER_ADV_PCT: (f64, f64) = (1.5, 6.7);
+    /// Composed-indexing penalty ("10.0–12.2%").
+    pub const COMPOSED_INDEX_PENALTY_PCT: (f64, f64) = (10.0, 12.2);
+    /// CUDA `-maxrregcount 64` gain ("up to 3.6%").
+    pub const MAXRREG_GAIN_PCT: f64 = 3.6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_columns_in_paper_order() {
+        assert_eq!(TABLE1.len(), 12);
+        assert_eq!(TABLE1[0].strategy, Strategy::OneLp);
+        assert_eq!(TABLE1[11].strategy, Strategy::FourLp2);
+        assert_eq!(TABLE1[11].order, IndexOrder::IMajor);
+    }
+
+    #[test]
+    fn gflops_consistency() {
+        // GFLOP/s implied by the durations: 1LP ~330, 3LP-1 k ~647.
+        let g = |d: f64| PAPER_FLOPS / d / 1e3;
+        assert!((g(TABLE1[0].duration_us) - 330.0).abs() < 2.0);
+        assert!((g(TABLE1[2].duration_us) - 646.6).abs() < 2.0);
+        // 3LP-1 k-major beats QUDA recon-18 by a few percent; the 10.2%
+        // maximum comes from the tuned variants.
+        assert!(g(TABLE1[2].duration_us) > QUDA_RECON18_GFLOPS);
+    }
+
+    #[test]
+    fn durations_are_ordered_as_the_paper_describes() {
+        // 3LP-1 fastest, then 3LP-2/3, then 4LP-1, 4LP-2, 2LP between,
+        // 1LP slowest.
+        let d: Vec<f64> = TABLE1.iter().map(|c| c.duration_us).collect();
+        assert!(d[2] < d[4] && d[4] < d[6] && d[6] < d[8]); // k-major chain
+        assert!(d[8] < d[10]); // 4LP-1 < 4LP-2
+        assert!(d[0] > d[1]); // 1LP slowest vs 2LP
+    }
+
+    #[test]
+    fn local_sizes() {
+        assert_eq!(table1_local_size(Strategy::OneLp), 256);
+        assert_eq!(table1_local_size(Strategy::ThreeLp1), 768);
+    }
+}

@@ -1,0 +1,238 @@
+//! The paper's hand-rolled `double_complex` structure.
+//!
+//! Section III of the paper: "declare a structure data type named
+//! `double_complex`.  This structure internally defines two doubles to
+//! represent complex numbers, along with arithmetic functions designed for
+//! manipulating complex numbers."  The arithmetic is the minimal naive
+//! form — no special-value handling — which is exactly what a
+//! performance-oriented kernel wants.
+
+use crate::field::ComplexField;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Hand-rolled double-precision complex number (the paper's
+/// `double_complex`).
+///
+/// `#[repr(C)]` so the in-simulator device buffers can store it as two
+/// consecutive `f64`s, matching the byte layout the paper's coalescing
+/// analysis assumes (one complex = two 8-byte words).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct DoubleComplex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl DoubleComplex {
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity.
+    pub const ZERO: Self = Self::new(0.0, 0.0);
+
+    /// The multiplicative identity.
+    pub const ONE: Self = Self::new(1.0, 0.0);
+
+    /// The imaginary unit.
+    pub const I: Self = Self::new(0.0, 1.0);
+
+    /// Complex conjugate.
+    #[inline]
+    pub const fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Naive complex division (no overflow protection — the kernel never
+    /// divides; this exists for host-side setup code and tests; named
+    /// like the paper's helper rather than implementing `std::ops::Div`).
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, rhs: Self) -> Self {
+        let d = rhs.re * rhs.re + rhs.im * rhs.im;
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Add for DoubleComplex {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for DoubleComplex {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for DoubleComplex {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for DoubleComplex {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for DoubleComplex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for DoubleComplex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul<f64> for DoubleComplex {
+    type Output = Self;
+    #[inline]
+    fn mul(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+}
+
+impl ComplexField for DoubleComplex {
+    const NAME: &'static str = "double_complex";
+    const MUL_FLOPS: u64 = 6;
+    const EXTRA_REGISTERS: u32 = 0;
+
+    #[inline]
+    fn new(re: f64, im: f64) -> Self {
+        Self::new(re, im)
+    }
+
+    #[inline]
+    fn re(self) -> f64 {
+        self.re
+    }
+
+    #[inline]
+    fn im(self) -> f64 {
+        self.im
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: DoubleComplex, b: DoubleComplex, tol: f64) -> bool {
+        (a.re - b.re).abs() <= tol && (a.im - b.im).abs() <= tol
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = DoubleComplex::new(1.0, 2.0);
+        let b = DoubleComplex::new(3.0, -4.0);
+        assert_eq!(a + b, DoubleComplex::new(4.0, -2.0));
+        assert_eq!(a - b, DoubleComplex::new(-2.0, 6.0));
+        // (1+2i)(3-4i) = 3 - 4i + 6i - 8i^2 = 11 + 2i
+        assert_eq!(a * b, DoubleComplex::new(11.0, 2.0));
+        assert_eq!(-a, DoubleComplex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = DoubleComplex::new(3.0, 4.0);
+        assert_eq!(a.conj(), DoubleComplex::new(3.0, -4.0));
+        assert_eq!(ComplexField::norm_sqr(a), 25.0);
+        assert_eq!(ComplexField::abs(a), 5.0);
+    }
+
+    #[test]
+    fn identities() {
+        let a = DoubleComplex::new(-2.5, 7.0);
+        assert_eq!(a * DoubleComplex::ONE, a);
+        assert_eq!(a + DoubleComplex::ZERO, a);
+        assert_eq!(DoubleComplex::I * DoubleComplex::I, -DoubleComplex::ONE);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = DoubleComplex::new(1.5, -0.5);
+        let b = DoubleComplex::new(-2.0, 3.0);
+        let q = (a * b).div(b);
+        assert!(close(q, a, 1e-12));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = DoubleComplex::new(1.0, 1.0);
+        a += DoubleComplex::new(2.0, -3.0);
+        assert_eq!(a, DoubleComplex::new(3.0, -2.0));
+        a -= DoubleComplex::new(1.0, 1.0);
+        assert_eq!(a, DoubleComplex::new(2.0, -3.0));
+    }
+
+    #[test]
+    fn repr_c_layout_is_two_words() {
+        assert_eq!(core::mem::size_of::<DoubleComplex>(), 16);
+        assert_eq!(core::mem::align_of::<DoubleComplex>(), 8);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(re1 in -1e3f64..1e3, im1 in -1e3f64..1e3,
+                        re2 in -1e3f64..1e3, im2 in -1e3f64..1e3) {
+            let a = DoubleComplex::new(re1, im1);
+            let b = DoubleComplex::new(re2, im2);
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn conj_is_involution(re in -1e6f64..1e6, im in -1e6f64..1e6) {
+            let a = DoubleComplex::new(re, im);
+            prop_assert_eq!(a.conj().conj(), a);
+        }
+
+        #[test]
+        fn conj_distributes_over_mul(re1 in -1e3f64..1e3, im1 in -1e3f64..1e3,
+                                     re2 in -1e3f64..1e3, im2 in -1e3f64..1e3) {
+            let a = DoubleComplex::new(re1, im1);
+            let b = DoubleComplex::new(re2, im2);
+            let lhs = (a * b).conj();
+            let rhs = a.conj() * b.conj();
+            prop_assert!(close(lhs, rhs, 1e-6 * (1.0 + lhs.re.abs() + lhs.im.abs())));
+        }
+
+        #[test]
+        fn norm_is_multiplicative(re1 in -1e2f64..1e2, im1 in -1e2f64..1e2,
+                                  re2 in -1e2f64..1e2, im2 in -1e2f64..1e2) {
+            let a = DoubleComplex::new(re1, im1);
+            let b = DoubleComplex::new(re2, im2);
+            let lhs = ComplexField::norm_sqr(a * b);
+            let rhs = ComplexField::norm_sqr(a) * ComplexField::norm_sqr(b);
+            prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+        }
+    }
+}

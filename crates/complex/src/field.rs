@@ -1,0 +1,98 @@
+//! The [`ComplexField`] abstraction shared by both complex implementations.
+
+use core::fmt::Debug;
+use core::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A double-precision complex number usable inside the Dslash kernels.
+///
+/// The trait exists so that every kernel can be written once and
+/// instantiated with either the paper's hand-rolled [`DoubleComplex`]
+/// (Section III) or the SyclCPLX-style [`Cplx`] (Section IV-C item 1).
+///
+/// [`DoubleComplex`]: crate::DoubleComplex
+/// [`Cplx`]: crate::Cplx
+pub trait ComplexField:
+    Copy
+    + Clone
+    + Debug
+    + PartialEq
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Human-readable name used in benchmark output ("double_complex",
+    /// "SyclCPLX").
+    const NAME: &'static str;
+
+    /// Real FLOPs consumed by one multiply of this implementation.
+    /// `DoubleComplex` uses the naive 4-mul/2-add product (6 FLOPs);
+    /// `Cplx` additionally pays for the Annex-G NaN-recovery check,
+    /// which we account as 2 extra comparisons' worth of work.
+    const MUL_FLOPS: u64;
+
+    /// Extra registers per work-item the implementation costs over the
+    /// hand-rolled struct (the library type keeps intermediate products
+    /// live for its special-value fix-up path).
+    const EXTRA_REGISTERS: u32;
+
+    /// Construct from real and imaginary parts.
+    fn new(re: f64, im: f64) -> Self;
+
+    /// The additive identity.
+    #[inline]
+    fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+
+    /// The multiplicative identity.
+    #[inline]
+    fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// Real part.
+    fn re(self) -> f64;
+
+    /// Imaginary part.
+    fn im(self) -> f64;
+
+    /// Complex conjugate.
+    #[inline]
+    fn conj(self) -> Self {
+        Self::new(self.re(), -self.im())
+    }
+
+    /// Squared modulus `re^2 + im^2`.
+    #[inline]
+    fn norm_sqr(self) -> f64 {
+        self.re() * self.re() + self.im() * self.im()
+    }
+
+    /// Modulus.
+    #[inline]
+    fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        Self::new(self.re() * s, self.im() * s)
+    }
+
+    /// Fused multiply-add `self * rhs + acc`, the kernel's innermost
+    /// operation.  Implementations may reassociate, but must stay within
+    /// one ULP-level reordering of the naive form so that all parallel
+    /// strategies produce bit-comparable results.
+    #[inline]
+    fn mul_add(self, rhs: Self, acc: Self) -> Self {
+        self * rhs + acc
+    }
+}

@@ -1,0 +1,49 @@
+//! FLOP accounting.
+//!
+//! The paper evaluates performance as "theoretical FLOPs / measured
+//! time" with 600.8 MFLOP for the L = 32 kernel (Section IV-B); this
+//! module reproduces that count for any lattice size so GFLOP/s figures
+//! are comparable across configurations and to the paper.
+
+use milc_lattice::Lattice;
+
+/// Real FLOPs per (link type, direction) term of one target site: one
+/// 3x3 complex mat-vec (9 x 6 + 6 x 2) plus the 3-component complex
+/// accumulation into C (3 x 2).
+pub const FLOPS_PER_MATVEC_TERM: u64 = 9 * 6 + 6 * 2 + 3 * 2;
+
+/// Real FLOPs per target site: |l| x |k| = 16 terms.
+pub const FLOPS_PER_SITE: u64 = 16 * FLOPS_PER_MATVEC_TERM;
+
+/// Theoretical FLOPs of one Dslash application on one parity of the
+/// lattice.
+pub fn theoretical_flops(lattice: &Lattice) -> u64 {
+    lattice.half_volume() as u64 * FLOPS_PER_SITE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_papers_600_8_mflop_at_l32() {
+        let lat = Lattice::hypercubic(32);
+        let flops = theoretical_flops(&lat);
+        // 524288 sites x 1152 FLOP = 603,979,776 ~ "600.8 million".
+        assert_eq!(flops, 603_979_776);
+        assert!((flops as f64 - 600.8e6).abs() / 600.8e6 < 0.01);
+    }
+
+    #[test]
+    fn scales_with_volume() {
+        let l16 = theoretical_flops(&Lattice::hypercubic(16));
+        let l32 = theoretical_flops(&Lattice::hypercubic(32));
+        assert_eq!(l32, 16 * l16);
+    }
+
+    #[test]
+    fn per_site_breakdown() {
+        assert_eq!(FLOPS_PER_MATVEC_TERM, 72);
+        assert_eq!(FLOPS_PER_SITE, 1152);
+    }
+}

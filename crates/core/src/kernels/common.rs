@@ -1,0 +1,385 @@
+//! Shared device-side pieces of all Dslash kernels: buffer addressing,
+//! complex loads through the [`Lane`] API, index-style handling and the
+//! register-spill model.
+
+use gpu_sim::Lane;
+use milc_complex::ComplexField;
+use milc_lattice::recon::{decode, Recon};
+use milc_lattice::DeviceLayout;
+
+/// Device addresses of every buffer a Dslash kernel touches.
+///
+/// Mirrors the kernel arguments of the SYCL implementation: four gauge
+/// arrays (one per link type `l`, Section IV-D7's layout), four
+/// neighbor tables (one per link type), the source vector `B`, the
+/// output `C`, the target-site gather table and (for the spill model)
+/// a thread-local scratch area.
+#[derive(Copy, Clone, Debug)]
+pub struct DevTables {
+    /// Base address of gauge array `l` (`l = 0..4`).
+    pub u: [u64; 4],
+    /// Base address of the neighbor table for link type `l`
+    /// (`u32[volume * 4]`, indexed `s * 4 + k`).
+    pub nbr: [u64; 4],
+    /// Source vector `B` (`complex[volume * 3]`).
+    pub b: u64,
+    /// Output vector `C` (`complex[half_volume * 3]`).
+    pub c: u64,
+    /// Target-site gather table (`u32[half_volume]`): checkerboard index
+    /// to lexicographic site, the MILC-style parity gather.
+    pub target: u64,
+    /// Thread-local spill scratch base (see [`spill_store`]).
+    pub spill: u64,
+    /// Number of spill slots (bounds the reuse window).
+    pub spill_slots: u64,
+    /// Sites of one parity.
+    pub half_volume: u64,
+    /// Gauge storage scheme: `Recon::R18` is the paper's uncompressed
+    /// layout; `R12`/`R9` enable the compressed-gauge extension (the
+    /// QUDA feature the paper's SYCL implementation lacked,
+    /// Section IV-D3).
+    pub recon: Recon,
+}
+
+impl DevTables {
+    /// Address of `U[l][s][k][i][j]` (valid for the uncompressed R18
+    /// layout only).
+    #[inline]
+    pub fn u_addr(&self, l: usize, s: u64, k: u64, i: u64, j: u64) -> u64 {
+        debug_assert_eq!(self.recon, Recon::R18);
+        self.u[l] + ((s * 4 + k) * DeviceLayout::MAT_ELEMS as u64 + i * 3 + j) * 16
+    }
+
+    /// Base address of the encoded link `(l, s, k)` under the current
+    /// recon scheme.
+    #[inline]
+    pub fn u_link_addr(&self, l: usize, s: u64, k: u64) -> u64 {
+        self.u[l] + (s * 4 + k) * self.recon.reals() as u64 * 8
+    }
+
+    /// Address of neighbor-table entry `(s, k)` for link type `l`.
+    #[inline]
+    pub fn nbr_addr(&self, l: usize, s: u64, k: u64) -> u64 {
+        self.nbr[l] + (s * 4 + k) * 4
+    }
+
+    /// Address of `B[s][j]`.
+    #[inline]
+    pub fn b_addr(&self, s: u64, j: u64) -> u64 {
+        self.b + (s * 3 + j) * 16
+    }
+
+    /// Address of `C[cb][i]`.
+    #[inline]
+    pub fn c_addr(&self, cb: u64, i: u64) -> u64 {
+        self.c + (cb * 3 + i) * 16
+    }
+
+    /// Address of the target-site table entry for checkerboard index `cb`.
+    #[inline]
+    pub fn target_addr(&self, cb: u64) -> u64 {
+        self.target + cb * 4
+    }
+}
+
+/// Sign of link type `l` in Eq. (1): forward terms (+), backward (−).
+#[inline]
+pub fn link_sign(l: usize) -> f64 {
+    if l < 2 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Load one complex element as type `C` (two 8-byte global loads).
+#[inline]
+pub fn ld_c<C: ComplexField>(lane: &mut Lane<'_>, addr: u64) -> C {
+    let (re, im) = lane.ld_global_c64(addr);
+    C::new(re, im)
+}
+
+/// Load the 3-component source vector at site `s`.
+#[inline]
+pub fn load_b_vec<C: ComplexField>(lane: &mut Lane<'_>, t: &DevTables, s: u64) -> [C; 3] {
+    [
+        ld_c(lane, t.b_addr(s, 0)),
+        ld_c(lane, t.b_addr(s, 1)),
+        ld_c(lane, t.b_addr(s, 2)),
+    ]
+}
+
+/// Load row `i` of `U[l][s][k]` under the problem's gauge storage
+/// scheme.  Uncompressed (R18) loads exactly the six 8-byte words of
+/// the row, as the paper's kernels do; the compressed schemes load the
+/// whole encoded payload and reconstruct in registers (charging the
+/// scheme's decode FLOPs), exactly like QUDA's in-kernel reconstruction
+/// — the extension Section IV-D3 notes the SYCL implementation lacked.
+#[inline]
+pub fn load_u_row<C: ComplexField>(
+    lane: &mut Lane<'_>,
+    t: &DevTables,
+    l: usize,
+    s: u64,
+    k: u64,
+    i: u64,
+) -> [C; 3] {
+    match t.recon {
+        Recon::R18 => [
+            ld_c(lane, t.u_addr(l, s, k, i, 0)),
+            ld_c(lane, t.u_addr(l, s, k, i, 1)),
+            ld_c(lane, t.u_addr(l, s, k, i, 2)),
+        ],
+        scheme => {
+            let reals = scheme.reals();
+            let base = t.u_link_addr(l, s, k);
+            let mut data = [0.0f64; 18];
+            for (idx, slot) in data.iter_mut().enumerate().take(reals) {
+                *slot = lane.ld_global_f64(base + idx as u64 * 8);
+            }
+            lane.flops(scheme.decode_flops());
+            let m = decode(&data[..reals], scheme);
+            let i = i as usize;
+            [
+                C::new(m.e[i][0].re, m.e[i][0].im),
+                C::new(m.e[i][1].re, m.e[i][1].im),
+                C::new(m.e[i][2].re, m.e[i][2].im),
+            ]
+        }
+    }
+}
+
+/// `acc + sign * (row of U[l][s][k]) · bv`, recording loads and FLOPs
+/// exactly as the inner `j` loop of the paper's kernels executes them.
+/// (The argument list mirrors the kernel's loop indices one-to-one.)
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn row_term<C: ComplexField>(
+    lane: &mut Lane<'_>,
+    t: &DevTables,
+    l: usize,
+    s: u64,
+    k: u64,
+    i: u64,
+    bv: &[C; 3],
+    sign: f64,
+    mut acc: C,
+) -> C {
+    let row = load_u_row::<C>(lane, t, l, s, k, i);
+    for j in 0..3 {
+        let prod = row[j] * bv[j];
+        if sign > 0.0 {
+            acc += prod;
+        } else {
+            acc -= prod;
+        }
+        lane.flops((C::MUL_FLOPS + 2) as u32);
+    }
+    acc
+}
+
+/// Resolve the work-item's *effective* global id under an index style.
+///
+/// `Direct` is `get_global_id()`: one index op, identity mapping.
+/// `Composed` models the unoptimized SYCLomatic expression
+/// `get_local_range(2) * get_group(2) + get_local_id(2)` over a 3-D
+/// index space.  The paper measures a 10.0–12.2% penalty for it and
+/// attributes it to the work-item-to-data mapping: "the mapping of
+/// work-item indices to data varies with the indexing functions
+/// employed, resulting in a more localized memory access pattern in the
+/// first case" (Section IV-D6).  The model realizes exactly that: the
+/// composed 3-D linearization (i) permutes which work-group handles
+/// which site range and (ii) transposes the site blocks *within* each
+/// group, so the 2–3 sites one warp touches are no longer adjacent in
+/// memory — each warp-level gauge load then spans three scattered
+/// regions instead of one contiguous one, and the lost coalescing is
+/// measured by the simulator, not asserted.  `site_block` is the number
+/// of consecutive work-items that share one target site (12 for 3LP,
+/// 48 for 4LP, 1/3 for 1LP/2LP); blocks stay intact so the local-memory
+/// reductions remain correct.
+#[inline]
+pub fn effective_gid(
+    lane: &mut Lane<'_>,
+    composed: bool,
+    num_groups: u64,
+    site_block: u32,
+) -> u64 {
+    if !composed {
+        lane.iops(1);
+        lane.global_id()
+    } else {
+        lane.iops(7);
+        let g = permute_group(lane.group_id(), num_groups);
+        let lid = lane.local_id();
+        let nblocks = (lane.local_size() / site_block).max(1);
+        let b = lid / site_block;
+        let eff_b = scatter_block(b, nblocks);
+        let eff_lid = eff_b * site_block + lid % site_block;
+        g * lane.local_size() as u64 + eff_lid as u64
+    }
+}
+
+/// Bijective intra-group block scattering: stride by a value coprime
+/// with the block count so blocks that are adjacent in local-id space
+/// land far apart in data space.
+#[inline]
+pub fn scatter_block(b: u32, nblocks: u32) -> u32 {
+    if nblocks <= 2 {
+        return b;
+    }
+    // A stride near sqrt(n) maximizes the scattering of short runs.
+    let mut stride = (nblocks as f64).sqrt().round() as u32;
+    stride = stride.max(2);
+    while gcd(stride as u64, nblocks as u64) != 1 {
+        stride += 1;
+    }
+    (b * stride) % nblocks
+}
+
+/// Bijective group permutation used by the composed-index model:
+/// a fixed odd stride scatters consecutive groups across the iteration
+/// space, like a 3-D range's row-major linearization does.
+#[inline]
+pub fn permute_group(g: u64, num_groups: u64) -> u64 {
+    if num_groups <= 1 {
+        return g;
+    }
+    let mut stride = 769 % num_groups;
+    if stride == 0 {
+        stride = 1;
+    }
+    while gcd(stride, num_groups) != 1 {
+        stride += 1;
+    }
+    (g * stride) % num_groups
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Byte address of spill word `w` of the item occupying `slot`:
+/// CUDA thread-local memory is *warp-interleaved* — word `w` of the 32
+/// lanes of a warp occupies one contiguous 256-byte stripe — so spill
+/// traffic is perfectly coalesced (2 lines per warp access).  Slots are
+/// recycled across non-resident items, keeping the scratch area small
+/// and cache-hot, exactly like the hardware's local-memory window.
+#[inline]
+fn spill_addr(t: &DevTables, slot: u64, spills: u32, word: u64) -> u64 {
+    let warp = slot / 32;
+    let lane_in_warp = slot % 32;
+    let words_per_item = spills as u64 * 2;
+    t.spill + (warp * words_per_item + word) * 256 + lane_in_warp * 8
+}
+
+/// Store the register-spill pairs of one work-item (thread-local memory
+/// traffic of an uncapped compilation; Section IV-D4).  Call at the top
+/// of the heavy phase; pair with [`spill_load`] at the bottom.
+#[inline]
+pub fn spill_store(lane: &mut Lane<'_>, t: &DevTables, spills: u32) {
+    if spills == 0 {
+        return;
+    }
+    let slot = lane.global_id() % t.spill_slots;
+    for w in 0..spills as u64 * 2 {
+        lane.st_global_f64(spill_addr(t, slot, spills, w), 0.0);
+    }
+}
+
+/// Reload the spilled words (values are irrelevant to the computation;
+/// the traffic is what the model needs).
+#[inline]
+pub fn spill_load(lane: &mut Lane<'_>, t: &DevTables, spills: u32) {
+    if spills == 0 {
+        return;
+    }
+    let slot = lane.global_id() % t.spill_slots;
+    for w in 0..spills as u64 * 2 {
+        let _ = lane.ld_global_f64(spill_addr(t, slot, spills, w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_consistent_with_device_layout() {
+        let t = DevTables {
+            u: [0x1000, 0x2000, 0x3000, 0x4000],
+            nbr: [0x5000, 0x6000, 0x7000, 0x8000],
+            b: 0x9000,
+            c: 0xA000,
+            target: 0xB000,
+            spill: 0xC000,
+            spill_slots: 16,
+            half_volume: 8,
+            recon: Recon::R18,
+        };
+        // u element stride: j -> 16 B, i -> 48 B, k -> 144 B, s -> 576 B.
+        assert_eq!(t.u_addr(0, 0, 0, 0, 1) - t.u_addr(0, 0, 0, 0, 0), 16);
+        assert_eq!(t.u_addr(0, 0, 0, 1, 0) - t.u_addr(0, 0, 0, 0, 0), 48);
+        assert_eq!(t.u_addr(0, 0, 1, 0, 0) - t.u_addr(0, 0, 0, 0, 0), 144);
+        assert_eq!(t.u_addr(0, 1, 0, 0, 0) - t.u_addr(0, 0, 0, 0, 0), 576);
+        assert_eq!(t.u_addr(2, 0, 0, 0, 0), 0x3000);
+        assert_eq!(t.b_addr(2, 1) - t.b_addr(2, 0), 16);
+        assert_eq!(t.c_addr(1, 0) - t.c_addr(0, 0), 48);
+        assert_eq!(t.nbr_addr(1, 3, 2), 0x6000 + 14 * 4);
+        assert_eq!(t.target_addr(5), 0xB000 + 20);
+    }
+
+    #[test]
+    fn signs() {
+        assert_eq!(link_sign(0), 1.0);
+        assert_eq!(link_sign(1), 1.0);
+        assert_eq!(link_sign(2), -1.0);
+        assert_eq!(link_sign(3), -1.0);
+    }
+
+    #[test]
+    fn group_permutation_is_bijective() {
+        for n in [1u64, 2, 7, 96, 769, 1538, 4096] {
+            let mut seen = vec![false; n as usize];
+            for g in 0..n {
+                let p = permute_group(g, n);
+                assert!(p < n);
+                assert!(!seen[p as usize], "collision at {g} for n={n}");
+                seen[p as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_block_is_bijective() {
+        for n in [1u32, 2, 3, 8, 16, 64, 85] {
+            let mut seen = vec![false; n as usize];
+            for b in 0..n {
+                let s = scatter_block(b, n);
+                assert!(s < n);
+                assert!(!seen[s as usize], "collision at {b} for n={n}");
+                seen[s as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_block_separates_neighbors() {
+        // Adjacent blocks must land at least a warp's worth of blocks
+        // apart for typical group sizes (768 / 12 = 64 blocks).
+        let n = 64;
+        let d = (scatter_block(1, n) as i64 - scatter_block(0, n) as i64).unsigned_abs();
+        assert!(d >= 4, "blocks too close: {d}");
+    }
+
+    #[test]
+    fn group_permutation_scatters() {
+        // Consecutive groups must land far apart (locality destruction).
+        let n = 4096;
+        let d = (permute_group(1, n) as i64 - permute_group(0, n) as i64).unsigned_abs();
+        assert!(d > 64, "stride too small: {d}");
+    }
+}

@@ -1,0 +1,212 @@
+//! The device kernels: one module per parallel strategy of Section III.
+//!
+//! All kernels are generic over the complex representation
+//! ([`ComplexField`]): instantiating with
+//! [`DoubleComplex`](milc_complex::DoubleComplex) gives the paper's
+//! hand-rolled arithmetic, instantiating with
+//! [`Cplx`](milc_complex::Cplx) gives the "3LP-1 SyclCPLX" variant —
+//! same kernel, different complex library, exactly as in Section IV-C.
+//!
+//! **Register estimates.**  The simulator cannot run a register
+//! allocator, so each strategy declares its per-item register count
+//! (consumed by the occupancy calculator): 1LP holds three complex
+//! accumulators, a full `B` vector, the `(l, k)` loop state and address
+//! temporaries for a whole site (≈64 registers — which is what pins its
+//! occupancy to ~50%, Table I row 4); 2LP holds one row's accumulator
+//! plus the site state (≈40); the 3LP/4LP items hold a single partial
+//! sum (≈36).  The SyclCPLX type adds `EXTRA_REGISTERS` for its
+//! special-value fix-up intermediates.
+//!
+//! **Phase structure** (barriers): 1LP/2LP have one phase; 3LP-1/2 have
+//! two (their single `group_barrier`); 3LP-3 has two (initialize-then-
+//! accumulate); 4LP has three (its two barriers).
+
+pub mod common;
+pub mod four_lp;
+pub mod one_lp;
+pub mod three_lp;
+pub mod two_lp;
+
+use crate::strategy::{IndexOrder, KernelConfig, Strategy};
+use common::DevTables;
+use gpu_sim::Kernel;
+use milc_complex::ComplexField;
+
+/// Decompose a 3LP global id into `(site_cb, i, k)` per the index order
+/// (Section III-C listings).
+#[inline]
+pub(crate) fn decomp3(gid: u64, order: IndexOrder) -> (u64, u64, u64) {
+    let s = gid / 12;
+    match order {
+        // k-major: i fastest, items grouped by k.
+        IndexOrder::KMajor => (s, gid % 3, (gid / 3) % 4),
+        // i-major: k fastest, items grouped by i.
+        IndexOrder::IMajor | IndexOrder::LMajor => (s, (gid / 4) % 3, gid % 4),
+    }
+}
+
+/// Decompose a 4LP global id into `(site_cb, i, k, l)` (Section III-D).
+#[inline]
+pub(crate) fn decomp4(gid: u64, strategy: Strategy, order: IndexOrder) -> (u64, u64, u64, u64) {
+    let s = gid / 48;
+    match (strategy, order) {
+        (Strategy::FourLp1, IndexOrder::KMajor) => {
+            (s, gid % 3, (gid / 3) % 4, (gid / 12) % 4)
+        }
+        (Strategy::FourLp1, _) => (s, (gid / 4) % 3, gid % 4, (gid / 12) % 4),
+        (Strategy::FourLp2, IndexOrder::LMajor) => {
+            (s, gid % 3, (gid / 12) % 4, (gid / 3) % 4)
+        }
+        (Strategy::FourLp2, _) => (s, (gid / 4) % 3, (gid / 12) % 4, gid % 4),
+        _ => unreachable!("decomp4 called for a non-4LP strategy"),
+    }
+}
+
+/// Local-memory strides (in 16-byte complex elements) of the two 4LP
+/// reductions: `(l_stride, k_stride)`.
+#[inline]
+pub(crate) fn four_lp_strides(strategy: Strategy, order: IndexOrder) -> (u32, u32) {
+    match (strategy, order) {
+        (Strategy::FourLp1, IndexOrder::KMajor) => (12, 3),
+        (Strategy::FourLp1, _) => (12, 1),
+        (Strategy::FourLp2, IndexOrder::LMajor) => (3, 12),
+        (Strategy::FourLp2, _) => (1, 12),
+        _ => unreachable!(),
+    }
+}
+
+/// Build the boxed kernel for a configuration over tables `t`.
+///
+/// `num_groups` parameterizes the composed-index permutation and must
+/// match the launch's group count.
+pub fn build_kernel<C: ComplexField>(
+    cfg: KernelConfig,
+    t: DevTables,
+    num_groups: u64,
+) -> Box<dyn Kernel> {
+    match cfg.strategy {
+        Strategy::OneLp => Box::new(one_lp::OneLpKernel::<C>::new(cfg, t, num_groups)),
+        Strategy::TwoLp => Box::new(two_lp::TwoLpKernel::<C>::new(cfg, t, num_groups)),
+        Strategy::ThreeLp1 | Strategy::ThreeLp2 | Strategy::ThreeLp3 => {
+            Box::new(three_lp::ThreeLpKernel::<C>::new(cfg, t, num_groups))
+        }
+        Strategy::FourLp1 | Strategy::FourLp2 => {
+            Box::new(four_lp::FourLpKernel::<C>::new(cfg, t, num_groups))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomp3_k_major_matches_paper_listing() {
+        // int s = gid / (ndim*nrow); int i = gid % nrow;
+        // int k = (gid / nrow) % ndim;
+        for gid in 0..48u64 {
+            let (s, i, k) = decomp3(gid, IndexOrder::KMajor);
+            assert_eq!(s, gid / 12);
+            assert_eq!(i, gid % 3);
+            assert_eq!(k, (gid / 3) % 4);
+        }
+    }
+
+    #[test]
+    fn decomp3_covers_each_site_once() {
+        for order in [IndexOrder::KMajor, IndexOrder::IMajor] {
+            let mut seen = std::collections::HashSet::new();
+            for gid in 0..120u64 {
+                let (s, i, k) = decomp3(gid, order);
+                assert!(seen.insert((s, i, k)), "duplicate ({s},{i},{k})");
+                assert!(i < 3 && k < 4);
+            }
+            assert_eq!(seen.len(), 120);
+        }
+    }
+
+    #[test]
+    fn decomp4_covers_each_site_once() {
+        for (strat, order) in [
+            (Strategy::FourLp1, IndexOrder::KMajor),
+            (Strategy::FourLp1, IndexOrder::IMajor),
+            (Strategy::FourLp2, IndexOrder::LMajor),
+            (Strategy::FourLp2, IndexOrder::IMajor),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for gid in 0..96u64 {
+                let (s, i, k, l) = decomp4(gid, strat, order);
+                assert!(seen.insert((s, i, k, l)));
+                assert!(i < 3 && k < 4 && l < 4);
+                assert_eq!(s, gid / 48);
+            }
+            assert_eq!(seen.len(), 96);
+        }
+    }
+
+    #[test]
+    fn four_lp1_k_major_active_clusters_are_12_consecutive() {
+        // Paper Section IV-D8: in 4LP-1 the 12 active work-items of one
+        // l-branch are consecutive.
+        let l_of = |gid| decomp4(gid, Strategy::FourLp1, IndexOrder::KMajor).3;
+        let mut run = 1;
+        let mut runs = Vec::new();
+        for gid in 1..96u64 {
+            if l_of(gid) == l_of(gid - 1) {
+                run += 1;
+            } else {
+                runs.push(run);
+                run = 1;
+            }
+        }
+        runs.push(run);
+        assert!(runs.iter().all(|&r| r == 12), "{runs:?}");
+    }
+
+    #[test]
+    fn four_lp2_l_major_clusters_of_3_and_i_major_of_1() {
+        let l_of_lmaj = |gid| decomp4(gid, Strategy::FourLp2, IndexOrder::LMajor).3;
+        for gid in (0..96u64).step_by(3) {
+            assert_eq!(l_of_lmaj(gid), l_of_lmaj(gid + 1));
+            assert_eq!(l_of_lmaj(gid), l_of_lmaj(gid + 2));
+            if gid % 12 < 9 {
+                assert_ne!(l_of_lmaj(gid), l_of_lmaj(gid + 3));
+            }
+        }
+        let l_of_imaj = |gid| decomp4(gid, Strategy::FourLp2, IndexOrder::IMajor).3;
+        for gid in 0..95u64 {
+            assert_ne!(l_of_imaj(gid), l_of_imaj(gid + 1));
+        }
+    }
+
+    #[test]
+    fn strides_match_decompositions() {
+        // The lane holding (s, i, k, l) sits at local offset matching the
+        // decomposition; partners along l must differ by l_stride.
+        for (strat, order) in [
+            (Strategy::FourLp1, IndexOrder::KMajor),
+            (Strategy::FourLp1, IndexOrder::IMajor),
+            (Strategy::FourLp2, IndexOrder::LMajor),
+            (Strategy::FourLp2, IndexOrder::IMajor),
+        ] {
+            let (ls, ks) = four_lp_strides(strat, order);
+            // find gid with (s,i,k,l)=(0,x,y,0) and its l=1 partner.
+            for gid in 0..48u64 {
+                let (s, i, k, l) = decomp4(gid, strat, order);
+                if l == 0 {
+                    // partner with l=1, same (s,i,k):
+                    let partner = (0..48u64)
+                        .find(|&g| decomp4(g, strat, order) == (s, i, k, 1))
+                        .unwrap();
+                    assert_eq!(partner - gid, ls as u64, "{strat:?} {order:?}");
+                }
+                if l == 0 && k == 0 {
+                    let partner = (0..48u64)
+                        .find(|&g| decomp4(g, strat, order) == (s, i, 1, 0))
+                        .unwrap();
+                    assert_eq!(partner - gid, ks as u64, "{strat:?} {order:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The MILC-Dslash core library.
+//!
+//! This crate is the paper's primary contribution rebuilt in Rust: the
+//! staggered (Kogut-Susskind, first- plus third-neighbor) Dslash operator
+//! `C = Dslash × B` of Eq. (1), implemented
+//!
+//! * as **CPU references** — a sequential implementation
+//!   ([`mod@reference`]) and a rayon-parallel one ([`parallel_cpu`]) used for
+//!   validation and host-side baselines; and
+//! * as **device kernels** for the [`gpu_sim`] execution-model simulator,
+//!   one per parallel strategy of Section III: [`kernels::one_lp`] (one
+//!   work-item per site), [`kernels::two_lp`] (+ matrix rows),
+//!   [`kernels::three_lp`] (+ directions; three race-resolution variants
+//!   3LP-1/2/3) and [`kernels::four_lp`] (+ link types; 4LP-1/2), each in
+//!   its work-item index orders (k-major / i-major / l-major).
+//!
+//! [`problem::DslashProblem`] owns the lattice data and its device
+//! packing; [`runner`] runs one configuration end to end (launch,
+//! validate, report GFLOP/s the way the paper does — theoretical FLOPs
+//! over measured duration).
+
+pub mod cpu_opt;
+pub mod flops;
+pub mod kernels;
+pub mod operator;
+pub mod parallel_cpu;
+pub mod problem;
+pub mod reference;
+pub mod runner;
+pub mod solver;
+pub mod strategy;
+pub mod validate;
+
+pub use flops::theoretical_flops;
+pub use operator::{recommended_config, SimulatedDslash};
+pub use problem::DslashProblem;
+pub use runner::{run_config, run_config_timed, run_config_warm, RunOutcome, TimedRuns};
+pub use strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
+pub use validate::{compare_to_reference, MaxError};

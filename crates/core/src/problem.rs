@@ -1,0 +1,365 @@
+//! [`DslashProblem`]: owns one benchmark instance — lattice, fields,
+//! the device-memory packing, and the lazily-computed CPU reference.
+
+use crate::kernels::common::DevTables;
+use crate::kernels::build_kernel;
+use crate::reference;
+use crate::strategy::KernelConfig;
+use gpu_sim::{Buffer, DeviceMemory, Kernel, NdRange};
+use milc_complex::ComplexField;
+use milc_lattice::recon::{self, Recon};
+use milc_lattice::{
+    ColorVector, DeviceLayout, GaugeField, Lattice, LinkType, NeighborTable, Parity, QuarkField,
+    Su3,
+};
+
+/// Maximum spill pairs any kernel configuration may request; sizes the
+/// shared spill scratch buffer.
+pub const MAX_SPILLS: u32 = 4;
+
+/// Spill slots are recycled like CUDA thread-local memory, which is
+/// sized to the *resident* thread count, not the launch size — so the
+/// scratch area stays small and cache-hot exactly as real spill traffic
+/// does.  8192 slots covers several resident work-groups per SM on the
+/// default volume-matched device.
+const SPILL_SLOT_CAP: u64 = 8192;
+
+/// A packed benchmark instance.
+pub struct DslashProblem<C: ComplexField> {
+    lattice: Lattice,
+    gauge: GaugeField<C>,
+    b: QuarkField<C>,
+    parity: Parity,
+    recon: Recon,
+    mem: DeviceMemory,
+    tables: DevTables,
+    c_buf: Buffer,
+    reference: Option<Vec<ColorVector<C>>>,
+}
+
+impl<C: ComplexField> DslashProblem<C> {
+    /// Build a random problem on an `l^4` lattice from a seed
+    /// (deterministic) and pack it into device memory.
+    pub fn random(l: usize, seed: u64) -> Self {
+        Self::random_with_recon(l, seed, Recon::R18)
+    }
+
+    /// Build a random problem with a compressed gauge layout — the
+    /// extension Section IV-D3 notes the paper's SYCL implementation
+    /// lacked ("does not include QUDA's gauge compression options as
+    /// that is not a current feature of our SYCL implementation").
+    /// Every strategy kernel transparently reconstructs in registers.
+    pub fn random_with_recon(l: usize, seed: u64, recon: Recon) -> Self {
+        let lattice = Lattice::hypercubic(l);
+        let gauge = GaugeField::random(&lattice, seed);
+        let b = QuarkField::random(&lattice, seed ^ 0x9E37_79B9_7F4A_7C15);
+        Self::from_fields_with_recon(gauge, b, Parity::Even, recon)
+    }
+
+    /// Build from explicit fields and pack into device memory
+    /// (uncompressed gauge layout, as in the paper).
+    pub fn from_fields(gauge: GaugeField<C>, b: QuarkField<C>, parity: Parity) -> Self {
+        Self::from_fields_with_recon(gauge, b, parity, Recon::R18)
+    }
+
+    /// Build from explicit fields with a gauge storage scheme.
+    ///
+    /// # Panics
+    /// Panics if a compressed scheme is requested for links it cannot
+    /// represent (recon 9 requires generic SU(3) links; see
+    /// [`milc_lattice::recon`]).
+    pub fn from_fields_with_recon(
+        gauge: GaugeField<C>,
+        b: QuarkField<C>,
+        parity: Parity,
+        recon_scheme: Recon,
+    ) -> Self {
+        let lattice = gauge.lattice().clone();
+        assert_eq!(
+            b.lattice(),
+            &lattice,
+            "gauge and source fields live on different lattices"
+        );
+        let layout = DeviceLayout::new(&lattice);
+        let nt = NeighborTable::build(&lattice);
+        let mut mem = DeviceMemory::new();
+
+        // Gauge arrays, one buffer per link type (Section IV-D7 layout
+        // for R18; `reals()`-wide encoded records for the compressed
+        // extension schemes).
+        let reals = recon_scheme.reals();
+        let mut u_bufs = [Buffer::default(); 4];
+        for (l, link) in LinkType::ALL.iter().enumerate() {
+            let buf = mem.alloc(
+                (lattice.volume() * 4 * reals * 8) as u64,
+                &format!("U[{l}]"),
+            );
+            for s in 0..lattice.volume() {
+                for k in 0..4 {
+                    let m = gauge.link(*link, s, k);
+                    if recon_scheme == Recon::R18 {
+                        for i in 0..3 {
+                            for j in 0..3 {
+                                let addr = buf.base() + layout.u_byte(s, k, i, j) as u64;
+                                mem.write_f64(addr, m.e[i][j].re());
+                                mem.write_f64(addr + 8, m.e[i][j].im());
+                            }
+                        }
+                    } else {
+                        // Reconstruction math is defined over the
+                        // canonical double-precision representation.
+                        let mut dm = Su3::<milc_complex::DoubleComplex>::zero();
+                        for i in 0..3 {
+                            for j in 0..3 {
+                                dm.e[i][j] = milc_complex::DoubleComplex::new(
+                                    m.e[i][j].re(),
+                                    m.e[i][j].im(),
+                                );
+                            }
+                        }
+                        let enc = recon::encode(&dm, recon_scheme);
+                        mem.write_f64_slice(&buf, ((s * 4 + k) * reals * 8) as u64, &enc);
+                    }
+                }
+            }
+            u_bufs[l] = buf;
+        }
+
+        // Neighbor tables, one per link type.
+        let mut nbr_bufs = [Buffer::default(); 4];
+        #[allow(clippy::needless_range_loop)] // l indexes table lookups and buffers in lockstep
+        for l in 0..4 {
+            let buf = mem.alloc(layout.nbr_bytes() as u64, &format!("nbr[{l}]"));
+            for s in 0..lattice.volume() {
+                for k in 0..4 {
+                    mem.write_u32(
+                        buf.base() + layout.nbr_byte(s, k) as u64,
+                        nt.source_site(l, s, k) as u32,
+                    );
+                }
+            }
+            nbr_bufs[l] = buf;
+        }
+
+        // Source vector B over the full lattice.
+        let b_buf = mem.alloc(layout.b_bytes() as u64, "B");
+        for s in 0..lattice.volume() {
+            for j in 0..3 {
+                let addr = b_buf.base() + layout.b_byte(s, j) as u64;
+                mem.write_f64(addr, b.site(s).c[j].re());
+                mem.write_f64(addr + 8, b.site(s).c[j].im());
+            }
+        }
+
+        // Output C over one parity.
+        let c_buf = mem.alloc(layout.c_bytes() as u64, "C");
+
+        // Target-site gather table.
+        let target_buf = mem.alloc((lattice.half_volume() * 4) as u64, "target");
+        for cb in 0..lattice.half_volume() {
+            mem.write_u32(
+                target_buf.base() + (cb * 4) as u64,
+                lattice.site_of_checkerboard(cb, parity) as u32,
+            );
+        }
+
+        // Spill scratch (thread-local memory model).
+        let max_items = lattice.half_volume() as u64 * 48;
+        let spill_slots = max_items.clamp(1, SPILL_SLOT_CAP);
+        let spill_buf = mem.alloc(spill_slots * MAX_SPILLS as u64 * 16, "spill");
+
+        let tables = DevTables {
+            u: [
+                u_bufs[0].base(),
+                u_bufs[1].base(),
+                u_bufs[2].base(),
+                u_bufs[3].base(),
+            ],
+            nbr: [
+                nbr_bufs[0].base(),
+                nbr_bufs[1].base(),
+                nbr_bufs[2].base(),
+                nbr_bufs[3].base(),
+            ],
+            b: b_buf.base(),
+            c: c_buf.base(),
+            target: target_buf.base(),
+            spill: spill_buf.base(),
+            spill_slots,
+            half_volume: lattice.half_volume() as u64,
+            recon: recon_scheme,
+        };
+
+        Self {
+            lattice,
+            gauge,
+            b,
+            parity,
+            recon: recon_scheme,
+            mem,
+            tables,
+            c_buf,
+            reference: None,
+        }
+    }
+
+    /// The gauge storage scheme this problem was packed with.
+    pub fn recon(&self) -> Recon {
+        self.recon
+    }
+
+    /// The output tolerance appropriate to the gauge storage scheme
+    /// (compressed layouts reconstruct with scheme-dependent accuracy).
+    pub fn validation_tolerance(&self) -> f64 {
+        self.recon.tolerance().max(1e-10)
+    }
+
+    /// The lattice.
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The gauge field.
+    pub fn gauge(&self) -> &GaugeField<C> {
+        &self.gauge
+    }
+
+    /// The source field.
+    pub fn source(&self) -> &QuarkField<C> {
+        &self.b
+    }
+
+    /// The target parity.
+    pub fn parity(&self) -> Parity {
+        self.parity
+    }
+
+    /// Device memory (pass to the launcher).
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.mem
+    }
+
+    /// Device buffer addresses.
+    pub fn tables(&self) -> DevTables {
+        self.tables
+    }
+
+    /// Zero the output buffer (between kernel runs).
+    pub fn zero_output(&self) {
+        self.mem.zero(&self.c_buf);
+    }
+
+    /// Read the output vector back from the device.
+    pub fn read_output(&self) -> Vec<ColorVector<C>> {
+        let layout = DeviceLayout::new(&self.lattice);
+        (0..self.lattice.half_volume())
+            .map(|cb| {
+                let mut v = ColorVector::<C>::zero();
+                for i in 0..3 {
+                    let addr = self.c_buf.base() + layout.c_byte(cb, i) as u64;
+                    v.c[i] = C::new(self.mem.read_f64(addr), self.mem.read_f64(addr + 8));
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// The CPU reference output (computed on first use, cached).
+    pub fn reference(&mut self) -> &[ColorVector<C>] {
+        if self.reference.is_none() {
+            self.reference = Some(reference::dslash(&self.gauge, &self.b, self.parity));
+        }
+        self.reference.as_deref().expect("just computed")
+    }
+
+    /// The launch geometry of a configuration at a local size.
+    pub fn launch_range(&self, cfg: KernelConfig, local_size: u32) -> NdRange {
+        NdRange::linear(cfg.global_size(self.lattice.half_volume() as u64), local_size)
+    }
+
+    /// Build the kernel object for a configuration; `num_groups` must be
+    /// `launch_range(cfg, local_size).num_groups()`.
+    pub fn make_kernel(&self, cfg: KernelConfig, num_groups: u64) -> Box<dyn Kernel> {
+        build_kernel::<C>(cfg, self.tables, num_groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milc_complex::DoubleComplex as Z;
+    use milc_lattice::neighbors::Hop;
+
+    #[test]
+    fn packing_roundtrips_gauge_elements() {
+        let p = DslashProblem::<Z>::random(4, 77);
+        let layout = DeviceLayout::new(p.lattice());
+        for (l, link) in LinkType::ALL.iter().enumerate() {
+            for s in [0usize, 17, 255] {
+                for k in 0..4 {
+                    let m = p.gauge().link(*link, s, k);
+                    for i in 0..3 {
+                        for j in 0..3 {
+                            let addr = p.tables().u[l] + layout.u_byte(s, k, i, j) as u64;
+                            assert_eq!(p.memory().read_f64(addr), m.e[i][j].re);
+                            assert_eq!(p.memory().read_f64(addr + 8), m.e[i][j].im);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packing_roundtrips_neighbors_and_targets() {
+        let p = DslashProblem::<Z>::random(4, 78);
+        let lat = p.lattice().clone();
+        let nt = NeighborTable::build(&lat);
+        for s in (0..lat.volume()).step_by(7) {
+            for k in 0..4 {
+                let addr = p.tables().nbr[2] + ((s * 4 + k) * 4) as u64;
+                assert_eq!(
+                    p.memory().read_u32(addr) as usize,
+                    nt.neighbor(Hop::Bwd1, s, k)
+                );
+            }
+        }
+        for cb in (0..lat.half_volume()).step_by(11) {
+            let addr = p.tables().target + (cb * 4) as u64;
+            assert_eq!(
+                p.memory().read_u32(addr) as usize,
+                lat.site_of_checkerboard(cb, Parity::Even)
+            );
+        }
+    }
+
+    #[test]
+    fn output_starts_zero_and_zeroes_again() {
+        let p = DslashProblem::<Z>::random(2, 79);
+        let out = p.read_output();
+        assert!(out.iter().all(|v| v.norm_sqr() == 0.0));
+        // Dirty one element, re-zero, verify.
+        p.memory().write_f64(p.c_buf.base(), 5.0);
+        p.zero_output();
+        assert!(p.read_output().iter().all(|v| v.norm_sqr() == 0.0));
+    }
+
+    #[test]
+    fn reference_is_cached_and_consistent() {
+        let mut p = DslashProblem::<Z>::random(2, 80);
+        let a = p.reference().to_vec();
+        let b = p.reference().to_vec();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|v| v.norm_sqr() > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different lattices")]
+    fn mismatched_fields_rejected() {
+        let lat2 = Lattice::hypercubic(2);
+        let lat4 = Lattice::hypercubic(4);
+        let g = GaugeField::<Z>::random(&lat2, 1);
+        let b = QuarkField::<Z>::random(&lat4, 2);
+        let _ = DslashProblem::from_fields(g, b, Parity::Even);
+    }
+}

@@ -1,0 +1,120 @@
+//! Validation of device results against the CPU reference.
+
+use milc_complex::ComplexField;
+use milc_lattice::ColorVector;
+
+/// Worst-case deviation between a device output and the reference.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct MaxError {
+    /// Largest absolute component difference.
+    pub abs: f64,
+    /// Largest component difference relative to the reference magnitude
+    /// (guarded against tiny denominators).
+    pub rel: f64,
+}
+
+impl MaxError {
+    /// Whether the deviation is within floating-point reassociation
+    /// noise — the different strategies sum the 16 stencil terms in
+    /// different orders, and the atomic variants additionally commute
+    /// partial sums, so exact equality is only expected for 1LP/2LP.
+    pub fn within_reassociation_noise(&self) -> bool {
+        self.rel < 1e-10
+    }
+}
+
+/// Compare a device output against the reference, component-wise.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn compare_to_reference<C: ComplexField>(
+    device: &[ColorVector<C>],
+    reference: &[ColorVector<C>],
+) -> MaxError {
+    assert_eq!(
+        device.len(),
+        reference.len(),
+        "output length mismatch: {} vs {}",
+        device.len(),
+        reference.len()
+    );
+    // Scale floor: tiny reference components compare against the overall
+    // field magnitude instead of their own near-zero value.
+    let scale = reference
+        .iter()
+        .flat_map(|r| (0..3).map(|i| r.c[i].abs()))
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+    let mut err = MaxError::default();
+    for (d, r) in device.iter().zip(reference) {
+        for i in 0..3 {
+            for (dv, rv) in [(d.c[i].re(), r.c[i].re()), (d.c[i].im(), r.c[i].im())] {
+                let abs = (dv - rv).abs();
+                let rel = abs / rv.abs().max(1e-6 * scale);
+                err.abs = err.abs.max(abs);
+                err.rel = err.rel.max(rel);
+            }
+        }
+    }
+    err
+}
+
+/// `true` iff the two outputs are bitwise identical.
+pub fn bitwise_equal<C: ComplexField>(a: &[ColorVector<C>], b: &[ColorVector<C>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            (0..3).all(|i| {
+                x.c[i].re().to_bits() == y.c[i].re().to_bits()
+                    && x.c[i].im().to_bits() == y.c[i].im().to_bits()
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milc_complex::DoubleComplex as Z;
+
+    fn v(x: f64) -> ColorVector<Z> {
+        ColorVector::new(Z::new(x, -x), Z::new(2.0 * x, 0.0), Z::new(0.0, x))
+    }
+
+    #[test]
+    fn identical_vectors_have_zero_error() {
+        let a = vec![v(1.0), v(-2.0)];
+        let e = compare_to_reference(&a, &a);
+        assert_eq!(e.abs, 0.0);
+        assert_eq!(e.rel, 0.0);
+        assert!(e.within_reassociation_noise());
+        assert!(bitwise_equal(&a, &a));
+    }
+
+    #[test]
+    fn small_perturbation_detected() {
+        let a = vec![v(1.0)];
+        let mut b = a.clone();
+        b[0].c[0] = Z::new(1.0 + 1e-13, -1.0);
+        let e = compare_to_reference(&b, &a);
+        assert!(e.abs > 0.0 && e.abs < 1e-12);
+        assert!(e.within_reassociation_noise());
+        assert!(!bitwise_equal(&a, &b));
+    }
+
+    #[test]
+    fn gross_error_flagged() {
+        let a = vec![v(1.0)];
+        let mut b = a.clone();
+        b[0].c[1] = Z::new(3.0, 0.0); // reference is 2.0
+        let e = compare_to_reference(&b, &a);
+        assert!(e.rel > 0.1);
+        assert!(!e.within_reassociation_noise());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let a = vec![v(1.0)];
+        let b = vec![v(1.0), v(2.0)];
+        let _ = compare_to_reference(&a, &b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Every parallel strategy, in every index order, at several local
+//! sizes, must compute the same Dslash as the CPU reference.
+
+use gpu_sim::{DeviceSpec, QueueMode};
+use milc_complex::{Cplx, DoubleComplex};
+use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
+
+fn check_all<C: milc_complex::ComplexField>(l: usize, seed: u64, local_sizes: &[u32]) {
+    let mut problem = DslashProblem::<C>::random(l, seed);
+    let device = DeviceSpec::test_small();
+    let hv = problem.lattice().half_volume() as u64;
+    for strategy in Strategy::ALL {
+        for &order in strategy.orders() {
+            let cfg = KernelConfig::new(strategy, order);
+            for &ls in local_sizes {
+                if !cfg.local_size_legal(ls, hv) {
+                    continue;
+                }
+                let out = run_config(&mut problem, cfg, ls, &device, QueueMode::InOrder)
+                    .unwrap_or_else(|e| panic!("{} @ {ls}: {e}", cfg.label()));
+                assert!(
+                    out.error.within_reassociation_noise(),
+                    "{} @ {ls}: error {:?}",
+                    cfg.label(),
+                    out.error
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_strategies_match_reference_double_complex() {
+    check_all::<DoubleComplex>(4, 1234, &[32, 48, 96, 192]);
+}
+
+#[test]
+fn all_strategies_match_reference_syclcplx() {
+    check_all::<Cplx>(4, 987, &[96]);
+}
+
+#[test]
+fn one_lp_matches_reference_bitwise() {
+    // 1LP uses the reference's exact association order, so the match is
+    // bit-for-bit, not just within tolerance.
+    let mut problem = DslashProblem::<DoubleComplex>::random(4, 55);
+    let device = DeviceSpec::test_small();
+    let cfg = KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor);
+    run_config(&mut problem, cfg, 64, &device, QueueMode::InOrder).unwrap();
+    let device_out = problem.read_output();
+    assert!(milc_dslash::validate::bitwise_equal(
+        &device_out,
+        problem.reference()
+    ));
+}
+
+#[test]
+fn two_lp_matches_reference_bitwise() {
+    let mut problem = DslashProblem::<DoubleComplex>::random(4, 56);
+    let device = DeviceSpec::test_small();
+    let cfg = KernelConfig::new(Strategy::TwoLp, IndexOrder::KMajor);
+    run_config(&mut problem, cfg, 96, &device, QueueMode::InOrder).unwrap();
+    let device_out = problem.read_output();
+    assert!(milc_dslash::validate::bitwise_equal(
+        &device_out,
+        problem.reference()
+    ));
+}
+
+#[test]
+fn syclcplx_variant_matches_double_complex_bitwise() {
+    // Same kernel, same data, different complex library: finite-value
+    // arithmetic is identical, so results must agree bit for bit.
+    let device = DeviceSpec::test_small();
+    let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+
+    let mut p1 = DslashProblem::<DoubleComplex>::random(4, 77);
+    run_config(&mut p1, cfg, 96, &device, QueueMode::InOrder).unwrap();
+    let out1 = p1.read_output();
+
+    let mut p2 = DslashProblem::<Cplx>::random(4, 77);
+    run_config(&mut p2, cfg, 96, &device, QueueMode::InOrder).unwrap();
+    let out2 = p2.read_output();
+
+    for (a, b) in out1.iter().zip(&out2) {
+        for i in 0..3 {
+            assert_eq!(a.c[i].re.to_bits(), b.c[i].real().to_bits());
+            assert_eq!(a.c[i].im.to_bits(), b.c[i].imag().to_bits());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Global-memory coalescing: mapping one warp-level memory instruction
+//! onto cache lines and sectors.
+//!
+//! The L1 front end looks one instruction at a time at the addresses of
+//! all active lanes, merges them into 128-byte cache-line *tag lookups*
+//! and 32-byte *sector requests* (Section IV-D7 of the paper analyses
+//! exactly this merging for the k- and i-major work-item orders).
+
+/// Coalescing result for one warp-level global-memory instruction.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoalescedAccess {
+    /// Unique 128-byte line base addresses touched (tag requests).
+    pub lines: Vec<u64>,
+    /// Unique `(line base, sector mask)` pairs: for each touched line,
+    /// the bitmask of its touched 32-byte sectors.
+    pub sector_masks: Vec<(u64, u8)>,
+}
+
+impl CoalescedAccess {
+    /// Number of tag (line) requests.
+    #[inline]
+    pub fn tag_requests(&self) -> u64 {
+        self.lines.len() as u64
+    }
+
+    /// Number of 32-byte sector requests.
+    #[inline]
+    pub fn sector_requests(&self) -> u64 {
+        self.sector_masks
+            .iter()
+            .map(|&(_, m)| m.count_ones() as u64)
+            .sum()
+    }
+}
+
+/// Coalesce the active lanes' `(addr, bytes)` accesses of one warp
+/// instruction into lines and sectors.
+///
+/// `line_bytes` must be a power of two and a multiple of `sector_bytes`.
+///
+/// ```
+/// use gpu_sim::coalesce::coalesce;
+/// // 32 lanes reading consecutive f64s: 256 B = 2 lines, 8 sectors.
+/// let dense: Vec<(u64, u8)> = (0..32).map(|i| (4096 + i * 8, 8)).collect();
+/// let c = coalesce(&dense, 128, 32);
+/// assert_eq!((c.tag_requests(), c.sector_requests()), (2, 8));
+/// // The 1LP pattern (576-byte stride): every lane its own line.
+/// let sparse: Vec<(u64, u8)> = (0..32).map(|i| (4096 + i * 576, 8)).collect();
+/// assert_eq!(coalesce(&sparse, 128, 32).tag_requests(), 32);
+/// ```
+pub fn coalesce(accesses: &[(u64, u8)], line_bytes: u32, sector_bytes: u32) -> CoalescedAccess {
+    debug_assert!(line_bytes.is_power_of_two());
+    debug_assert_eq!(line_bytes % sector_bytes, 0);
+    let line_mask = !(line_bytes as u64 - 1);
+    let sectors_per_line = line_bytes / sector_bytes;
+    debug_assert!(sectors_per_line <= 8, "sector mask is a u8");
+
+    // A warp has at most 32 lanes each touching at most 2 lines, so a
+    // small sorted vec beats a hash map here.
+    let mut out: Vec<(u64, u8)> = Vec::with_capacity(8);
+    for &(addr, bytes) in accesses {
+        let mut a = addr;
+        let end = addr + bytes as u64;
+        while a < end {
+            let line = a & line_mask;
+            let sector = ((a - line) / sector_bytes as u64) as u8;
+            match out.binary_search_by_key(&line, |&(l, _)| l) {
+                Ok(idx) => out[idx].1 |= 1 << sector,
+                Err(idx) => out.insert(idx, (line, 1 << sector)),
+            }
+            // Advance to the next sector boundary (an access can straddle
+            // sectors and even lines if unaligned).
+            a = line + (sector as u64 + 1) * sector_bytes as u64;
+        }
+    }
+    CoalescedAccess {
+        lines: out.iter().map(|&(l, _)| l).collect(),
+        sector_masks: out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const LINE: u32 = 128;
+    const SECTOR: u32 = 32;
+
+    #[test]
+    fn fully_coalesced_warp() {
+        // 32 lanes x consecutive f64: 256 bytes = 2 lines, 8 sectors.
+        let acc: Vec<(u64, u8)> = (0..32).map(|i| (4096 + i * 8, 8)).collect();
+        let c = coalesce(&acc, LINE, SECTOR);
+        assert_eq!(c.tag_requests(), 2);
+        assert_eq!(c.sector_requests(), 8);
+    }
+
+    #[test]
+    fn fully_scattered_warp() {
+        // 32 lanes with 576-byte stride (the 1LP U-matrix pattern):
+        // every lane its own line and sector.
+        let acc: Vec<(u64, u8)> = (0..32).map(|i| (8192 + i * 576, 8)).collect();
+        let c = coalesce(&acc, LINE, SECTOR);
+        assert_eq!(c.tag_requests(), 32);
+        assert_eq!(c.sector_requests(), 32);
+    }
+
+    #[test]
+    fn same_address_broadcast() {
+        let acc: Vec<(u64, u8)> = (0..32).map(|_| (512, 8)).collect();
+        let c = coalesce(&acc, LINE, SECTOR);
+        assert_eq!(c.tag_requests(), 1);
+        assert_eq!(c.sector_requests(), 1);
+    }
+
+    #[test]
+    fn stride_48_the_3lp_row_pattern() {
+        // Lanes stride 48 bytes (one SU(3) row apart): 32 lanes span
+        // 1536 bytes = 12 lines; sectors: addresses i*48 hit sector
+        // floor(48i/32)%4 of each line — 3 words per 2 sectors.
+        let acc: Vec<(u64, u8)> = (0..32).map(|i| ((i * 48), 8)).collect();
+        let c = coalesce(&acc, LINE, SECTOR);
+        assert_eq!(c.tag_requests(), 12);
+        // Each 8B access at multiple of 48 touches exactly 1 sector
+        // (48*i % 32 is 0 or 16), and distinct i never share a sector
+        // except when 48i and 48(i+... ) land in the same 32B window —
+        // 48i/32 = 3i/2, distinct for all i. So 32 sectors? No: 3i/2
+        // floors collide for i=2j, 2j+1? floor(3*0/2)=0, floor(3/2)=1,
+        // floor(6/2)=3, floor(9/2)=4 ... no collisions.
+        assert_eq!(c.sector_requests(), 32);
+    }
+
+    #[test]
+    fn straddling_access_touches_two_sectors() {
+        // An 8-byte access at offset 28 crosses the sector boundary.
+        let c = coalesce(&[(28, 8)], LINE, SECTOR);
+        assert_eq!(c.tag_requests(), 1);
+        assert_eq!(c.sector_requests(), 2);
+    }
+
+    #[test]
+    fn straddling_line_boundary() {
+        let c = coalesce(&[(124, 8)], LINE, SECTOR);
+        assert_eq!(c.tag_requests(), 2);
+        assert_eq!(c.sector_requests(), 2);
+    }
+
+    #[test]
+    fn lines_are_sorted_and_unique() {
+        let acc = [(700u64, 8u8), (100, 8), (700, 8), (300, 8)];
+        let c = coalesce(&acc, LINE, SECTOR);
+        let mut sorted = c.lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(c.lines, sorted);
+    }
+
+    proptest! {
+        #[test]
+        fn bounds_hold(addrs in proptest::collection::vec(0u64..100_000, 1..32)) {
+            let acc: Vec<(u64, u8)> = addrs.iter().map(|&a| (a, 8)).collect();
+            let c = coalesce(&acc, LINE, SECTOR);
+            // At least 1 line, at most 2 per lane (straddle).
+            prop_assert!(c.tag_requests() >= 1);
+            prop_assert!(c.tag_requests() <= 2 * acc.len() as u64);
+            prop_assert!(c.sector_requests() >= c.tag_requests());
+            prop_assert!(c.sector_requests() <= 2 * acc.len() as u64);
+        }
+
+        #[test]
+        fn sector_mask_consistent(addrs in proptest::collection::vec(0u64..10_000, 1..32)) {
+            let acc: Vec<(u64, u8)> = addrs.iter().map(|&a| (a, 8)).collect();
+            let c = coalesce(&acc, LINE, SECTOR);
+            prop_assert_eq!(c.lines.len(), c.sector_masks.len());
+            for &(line, mask) in &c.sector_masks {
+                prop_assert_eq!(line % LINE as u64, 0);
+                prop_assert!(mask != 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Simulator error types.
+
+use core::fmt;
+
+/// Errors reported by launch validation and execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The local size does not evenly divide the global size — the paper's
+    /// own constraint: "the remainder of global size upon division by
+    /// local size must be zero" (Section III-C).
+    IndivisibleGlobalSize {
+        /// Requested global size.
+        global: u64,
+        /// Requested local size.
+        local: u32,
+    },
+    /// Local size is zero or exceeds the device's maximum work-group size.
+    InvalidLocalSize {
+        /// Requested local size.
+        local: u32,
+        /// Device maximum.
+        max: u32,
+    },
+    /// The kernel requests more work-group local memory than one SM has.
+    LocalMemTooLarge {
+        /// Requested bytes per work-group.
+        requested: u32,
+        /// Device shared memory per SM.
+        available: u32,
+    },
+    /// The kernel's register demand makes even a single work-group
+    /// unschedulable.
+    RegistersExhausted {
+        /// Registers needed by one work-group.
+        requested: u32,
+        /// Register file size per SM.
+        available: u32,
+    },
+    /// A device-memory access fell outside every allocation.
+    OutOfBoundsAccess {
+        /// Offending device address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::IndivisibleGlobalSize { global, local } => write!(
+                f,
+                "global size {global} is not divisible by local size {local}"
+            ),
+            SimError::InvalidLocalSize { local, max } => {
+                write!(f, "local size {local} invalid (must be 1..={max})")
+            }
+            SimError::LocalMemTooLarge { requested, available } => write!(
+                f,
+                "work-group local memory {requested} B exceeds the {available} B available per SM"
+            ),
+            SimError::RegistersExhausted { requested, available } => write!(
+                f,
+                "work-group needs {requested} registers but the SM has {available}"
+            ),
+            SimError::OutOfBoundsAccess { addr } => {
+                write!(f, "device access at {addr:#x} is outside every allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

@@ -1,0 +1,372 @@
+//! The analytic timing model and its calibration.
+//!
+//! **What is measured vs. what is calibrated.**  Every *counter* the
+//! model consumes (sectors, wavefronts, atomic passes, issue slots,
+//! barriers) is measured by simulating the kernel's real memory traffic.
+//! The *weights* that convert counters into time are calibrated once
+//! against the twelve kernel durations the paper reports in Table I
+//! (collected with Nsight Compute on a real A100) — the standard way an
+//! architectural simulator is fitted to its reference hardware.  All
+//! relative effects between kernel variants therefore come from the
+//! measured counters; the weights only set the exchange rates between
+//! event classes.
+//!
+//! The model:
+//!
+//! ```text
+//! work        = Σ_i  w_i · counter_i                (SM-cycle units)
+//! hide(occ)   = occ ^ alpha                          (latency hiding)
+//! duration    = work / (num_sms · hide(occ)) / clock
+//! ```
+//!
+//! Low occupancy leaves memory latency exposed (fewer warps to switch
+//! to), which `hide` captures; the paper's 1LP-vs-3LP-1 discussion
+//! (Section IV-D1) is exactly this mechanism.
+
+use crate::counters::Counters;
+use crate::device::DeviceSpec;
+use crate::occupancy::Occupancy;
+
+/// Per-event-class weights in SM-cycles per event.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Weights {
+    /// Per L1 line-granular tag request (global): the coalescing-quality
+    /// term — a poorly coalesced kernel issues many more tag lookups for
+    /// the same bytes, and the paper's Table I durations track this
+    /// counter almost linearly (compare rows 1 and 10).
+    pub l1_tag: f64,
+    /// Per L1 sector request (global).
+    pub l1_sector: f64,
+    /// Per L2 sector request (L1 misses + atomics).
+    pub l2_sector: f64,
+    /// Per DRAM sector fetch (L2 miss).
+    pub dram_sector: f64,
+    /// Per shared-memory wavefront.
+    pub shared_wavefront: f64,
+    /// Per serialized atomic pass.
+    pub atomic_pass: f64,
+    /// Per warp issue slot.
+    pub issue: f64,
+    /// Per warp barrier wait.
+    pub barrier: f64,
+    /// Occupancy exponent of the latency-hiding term.
+    pub occ_alpha: f64,
+}
+
+/// The analytic timing model.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TimingModel {
+    /// The weight set in use.
+    pub weights: Weights,
+}
+
+impl TimingModel {
+    /// The default calibrated model, fitted by
+    /// `cargo run -p milc-bench --bin calibrate --release -- 16` against
+    /// fifteen paper measurements: the twelve Table I durations plus the
+    /// three QUDA recon points of Section IV-D3 (recon 18 weighted as
+    /// Fig. 6's reference line).  7.2% RMS relative error; see module
+    /// docs and `EXPERIMENTS.md`.  The zero weights on pure-ALU/barrier
+    /// classes are the fit's statement that this workload is bound by
+    /// memory transactions, exactly as the paper concludes ("the
+    /// benchmark under consideration is memory-bound", Section V).
+    pub fn calibrated() -> Self {
+        Self {
+            weights: Weights {
+                l1_tag: 0.4376,
+                l1_sector: 0.0,
+                l2_sector: 0.0997,
+                dram_sector: 0.8896,
+                shared_wavefront: 0.0,
+                atomic_pass: 0.6182,
+                issue: 0.2729,
+                barrier: 0.0,
+                occ_alpha: 1.0,
+            },
+        }
+    }
+
+    /// A model with explicit weights.
+    pub fn with_weights(weights: Weights) -> Self {
+        Self { weights }
+    }
+
+    /// The per-launch "work" in SM-cycles.
+    pub fn work(&self, c: &Counters) -> f64 {
+        let w = &self.weights;
+        w.l1_tag * c.l1_tag_requests_global as f64
+            + w.l1_sector * c.l1_sector_requests as f64
+            + w.l2_sector * c.l2_sector_requests as f64
+            + w.dram_sector * c.l2_sector_misses as f64
+            + w.shared_wavefront * c.shared_wavefronts as f64
+            + w.atomic_pass * c.atomic_passes as f64
+            + w.issue * c.warp_instructions as f64
+            + w.barrier * c.barrier_waits as f64
+    }
+
+    /// Kernel duration in microseconds.
+    pub fn duration_us(&self, c: &Counters, occ: &Occupancy, device: &DeviceSpec) -> f64 {
+        let hide = occ.achieved.max(1e-3).powf(self.weights.occ_alpha);
+        let cycles = self.work(c) / (device.num_sms as f64 * hide);
+        cycles / device.clock_hz() * 1e6
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// One calibration sample: measured counters + occupancy of a config,
+/// and the hardware duration (µs) it should map to.
+#[derive(Clone, Debug)]
+pub struct CalibrationSample {
+    /// Simulator counters of the configuration.
+    pub counters: Counters,
+    /// Simulator occupancy of the configuration.
+    pub occupancy: Occupancy,
+    /// Target duration in microseconds (from the paper's Table I),
+    /// already rescaled if the simulation ran a smaller lattice.
+    pub target_us: f64,
+}
+
+/// Fit non-negative weights (and the occupancy exponent) to calibration
+/// samples by minimizing the summed squared *relative* error, via
+/// projected coordinate descent over a grid of exponents.
+pub fn fit(samples: &[CalibrationSample], device: &DeviceSpec) -> TimingModel {
+    assert!(!samples.is_empty(), "need at least one calibration sample");
+    let mut best: Option<(f64, Weights)> = None;
+    for alpha_step in 0..=8 {
+        let alpha = alpha_step as f64 * 0.25;
+        let w = fit_linear(samples, device, alpha);
+        let model = TimingModel::with_weights(w);
+        let err = rel_error(&model, samples, device);
+        if best.is_none_or(|(e, _)| err < e) {
+            best = Some((err, w));
+        }
+    }
+    TimingModel::with_weights(best.expect("grid is non-empty").1)
+}
+
+/// Summed squared relative error of a model over samples.
+pub fn rel_error(model: &TimingModel, samples: &[CalibrationSample], device: &DeviceSpec) -> f64 {
+    samples
+        .iter()
+        .map(|s| {
+            let t = model.duration_us(&s.counters, &s.occupancy, device);
+            let r = (t - s.target_us) / s.target_us;
+            r * r
+        })
+        .sum()
+}
+
+/// For fixed alpha the model is linear in the weights; run projected
+/// (non-negative) coordinate descent on the relative-error objective.
+fn fit_linear(samples: &[CalibrationSample], device: &DeviceSpec, alpha: f64) -> Weights {
+    // Feature matrix: rows = samples, cols = 7 weight slots.
+    // Each row is divided by (num_sms * hide * clock) and by target (for
+    // relative error) so the objective is || F w - 1 ||^2.
+    let nf = 8;
+    let rows: Vec<[f64; 8]> = samples
+        .iter()
+        .map(|s| {
+            let hide = s.occupancy.achieved.max(1e-3).powf(alpha);
+            let scale = 1e6 / (device.num_sms as f64 * hide * device.clock_hz()) / s.target_us;
+            let c = &s.counters;
+            [
+                c.l1_tag_requests_global as f64 * scale,
+                c.l1_sector_requests as f64 * scale,
+                c.l2_sector_requests as f64 * scale,
+                c.l2_sector_misses as f64 * scale,
+                c.shared_wavefronts as f64 * scale,
+                c.atomic_passes as f64 * scale,
+                c.warp_instructions as f64 * scale,
+                c.barrier_waits as f64 * scale,
+            ]
+        })
+        .collect();
+
+    // Start from the default calibrated weights to keep the solution in
+    // a physically plausible basin.
+    let d = TimingModel::calibrated().weights;
+    let mut w = [
+        d.l1_tag,
+        d.l1_sector,
+        d.l2_sector,
+        d.dram_sector,
+        d.shared_wavefront,
+        d.atomic_pass,
+        d.issue,
+        d.barrier,
+    ];
+
+    for _pass in 0..200 {
+        for j in 0..nf {
+            // Optimal w_j holding others fixed:
+            // minimize Σ_r (Σ_k F_rk w_k - 1)^2 over w_j >= 0.
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for r in &rows {
+                let partial: f64 = (0..nf)
+                    .filter(|&k| k != j)
+                    .map(|k| r[k] * w[k])
+                    .sum();
+                num += r[j] * (1.0 - partial);
+                den += r[j] * r[j];
+            }
+            if den > 0.0 {
+                w[j] = (num / den).max(0.0);
+            }
+        }
+    }
+
+    Weights {
+        l1_tag: w[0],
+        l1_sector: w[1],
+        l2_sector: w[2],
+        dram_sector: w[3],
+        shared_wavefront: w[4],
+        atomic_pass: w[5],
+        issue: w[6],
+        barrier: w[7],
+        occ_alpha: alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::occupancy::{Occupancy, OccupancyLimiter};
+
+    fn occ(achieved: f64) -> Occupancy {
+        Occupancy {
+            groups_per_sm: 2,
+            warps_per_sm: 48,
+            theoretical: 0.75,
+            achieved,
+            limiter: OccupancyLimiter::Warps,
+            waves: 10.0,
+        }
+    }
+
+    fn counters(l1: u64, instr: u64) -> Counters {
+        Counters {
+            l1_sector_requests: l1,
+            l2_sector_requests: l1 / 4,
+            l2_sector_misses: l1 / 8,
+            warp_instructions: instr,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let m = TimingModel::calibrated();
+        let d = DeviceSpec::a100();
+        let o = occ(0.74);
+        let t1 = m.duration_us(&counters(1_000_000, 100_000), &o, &d);
+        let t2 = m.duration_us(&counters(2_000_000, 200_000), &o, &d);
+        assert!(t2 > t1 * 1.9 && t2 < t1 * 2.1);
+    }
+
+    #[test]
+    fn lower_occupancy_is_slower() {
+        let m = TimingModel::calibrated();
+        let d = DeviceSpec::a100();
+        let c = counters(1_000_000, 100_000);
+        let fast = m.duration_us(&c, &occ(0.74), &d);
+        let slow = m.duration_us(&c, &occ(0.40), &d);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn fit_recovers_a_planted_model() {
+        // Build synthetic samples from a known weight set and check the
+        // fitter reproduces its predictions.
+        let planted = TimingModel::with_weights(Weights {
+            l1_tag: 1.2,
+            l1_sector: 0.4,
+            l2_sector: 0.9,
+            dram_sector: 1.5,
+            shared_wavefront: 0.7,
+            atomic_pass: 10.0,
+            issue: 0.9,
+            barrier: 20.0,
+            occ_alpha: 0.5,
+        });
+        let d = DeviceSpec::a100();
+        let mut samples = Vec::new();
+        for i in 1..=12u64 {
+            let c = Counters {
+                l1_tag_requests_global: 20_000_000 + (i % 7) * 3_000_000,
+                l1_sector_requests: 40_000_000 + i * 7_000_000,
+                l2_sector_requests: 10_000_000 + (i % 5) * 4_000_000,
+                l2_sector_misses: 5_000_000 + (i % 3) * 2_000_000,
+                shared_wavefronts: (i % 4) * 3_000_000,
+                atomic_passes: (i % 2) * 1_000_000,
+                warp_instructions: 8_000_000 + i * 500_000,
+                barrier_waits: (i % 4) * 200_000,
+                ..Default::default()
+            };
+            let o = occ(0.45 + 0.03 * i as f64);
+            let t = planted.duration_us(&c, &o, &d);
+            samples.push(CalibrationSample {
+                counters: c,
+                occupancy: o,
+                target_us: t,
+            });
+        }
+        let fitted = fit(&samples, &d);
+        for s in &samples {
+            let t = fitted.duration_us(&s.counters, &s.occupancy, &d);
+            let rel = (t - s.target_us).abs() / s.target_us;
+            assert!(rel < 0.05, "relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn fit_handles_single_sample() {
+        let d = DeviceSpec::a100();
+        let s = CalibrationSample {
+            counters: counters(100_000_000, 10_000_000),
+            occupancy: occ(0.7),
+            target_us: 900.0,
+        };
+        let m = fit(std::slice::from_ref(&s), &d);
+        let t = m.duration_us(&s.counters, &s.occupancy, &d);
+        assert!((t - 900.0).abs() / 900.0 < 0.02, "got {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one calibration sample")]
+    fn fit_rejects_empty() {
+        let _ = fit(&[], &DeviceSpec::a100());
+    }
+
+    #[test]
+    fn weights_are_nonnegative_after_fit() {
+        let d = DeviceSpec::a100();
+        let samples: Vec<CalibrationSample> = (1..6u64)
+            .map(|i| CalibrationSample {
+                counters: counters(i * 50_000_000, i * 5_000_000),
+                occupancy: occ(0.7),
+                target_us: 100.0 * i as f64,
+            })
+            .collect();
+        let m = fit(&samples, &d);
+        let w = m.weights;
+        for v in [
+            w.l1_tag,
+            w.l1_sector,
+            w.l2_sector,
+            w.dram_sector,
+            w.shared_wavefront,
+            w.atomic_pass,
+            w.issue,
+            w.barrier,
+        ] {
+            assert!(v >= 0.0);
+        }
+    }
+}

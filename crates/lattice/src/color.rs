@@ -1,0 +1,206 @@
+//! Three-component color vectors.
+//!
+//! A staggered quark field carries one SU(3) color vector per site
+//! (Section I: "It requires only one SU(3) color vector at each site").
+
+use core::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+use milc_complex::ComplexField;
+
+/// A 3-component complex color vector.
+#[derive(Copy, Clone, Debug, PartialEq)]
+#[repr(C)]
+pub struct ColorVector<C> {
+    /// The color components `c[0..3]`.
+    pub c: [C; 3],
+}
+
+impl<C: ComplexField> Default for ColorVector<C> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<C: ComplexField> ColorVector<C> {
+    /// The zero vector.
+    #[inline]
+    pub fn zero() -> Self {
+        Self { c: [C::zero(); 3] }
+    }
+
+    /// Construct from three components.
+    #[inline]
+    pub fn new(c0: C, c1: C, c2: C) -> Self {
+        Self { c: [c0, c1, c2] }
+    }
+
+    /// Hermitian inner product `sum_i conj(self_i) * other_i`.
+    #[inline]
+    pub fn dot(&self, other: &Self) -> C {
+        let mut acc = C::zero();
+        for i in 0..3 {
+            acc += self.c[i].conj() * other.c[i];
+        }
+        acc
+    }
+
+    /// Squared 2-norm (real and non-negative).
+    #[inline]
+    pub fn norm_sqr(&self) -> f64 {
+        self.c.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(&self, s: f64) -> Self {
+        Self {
+            c: [self.c[0].scale(s), self.c[1].scale(s), self.c[2].scale(s)],
+        }
+    }
+
+    /// `self + other * z` (complex axpy), the building block of the CG
+    /// solver example.
+    #[inline]
+    pub fn axpy(&self, z: C, other: &Self) -> Self {
+        Self {
+            c: [
+                self.c[0] + z * other.c[0],
+                self.c[1] + z * other.c[1],
+                self.c[2] + z * other.c[2],
+            ],
+        }
+    }
+}
+
+impl<C: ComplexField> Add for ColorVector<C> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            c: [
+                self.c[0] + rhs.c[0],
+                self.c[1] + rhs.c[1],
+                self.c[2] + rhs.c[2],
+            ],
+        }
+    }
+}
+
+impl<C: ComplexField> Sub for ColorVector<C> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self {
+            c: [
+                self.c[0] - rhs.c[0],
+                self.c[1] - rhs.c[1],
+                self.c[2] - rhs.c[2],
+            ],
+        }
+    }
+}
+
+impl<C: ComplexField> Neg for ColorVector<C> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self {
+            c: [-self.c[0], -self.c[1], -self.c[2]],
+        }
+    }
+}
+
+impl<C: ComplexField> AddAssign for ColorVector<C> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        for i in 0..3 {
+            self.c[i] += rhs.c[i];
+        }
+    }
+}
+
+impl<C: ComplexField> SubAssign for ColorVector<C> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        for i in 0..3 {
+            self.c[i] -= rhs.c[i];
+        }
+    }
+}
+
+impl<C: ComplexField> Mul<C> for ColorVector<C> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, z: C) -> Self {
+        Self {
+            c: [self.c[0] * z, self.c[1] * z, self.c[2] * z],
+        }
+    }
+}
+
+impl<C> Index<usize> for ColorVector<C> {
+    type Output = C;
+    #[inline]
+    fn index(&self, i: usize) -> &C {
+        &self.c[i]
+    }
+}
+
+impl<C> IndexMut<usize> for ColorVector<C> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut C {
+        &mut self.c[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milc_complex::DoubleComplex as Z;
+
+    fn v(a: f64, b: f64, c: f64) -> ColorVector<Z> {
+        ColorVector::new(Z::new(a, 0.0), Z::new(b, 0.0), Z::new(c, 0.0))
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = v(1.0, 2.0, 3.0);
+        let b = v(4.0, 5.0, 6.0);
+        assert_eq!(a + b, v(5.0, 7.0, 9.0));
+        assert_eq!(b - a, v(3.0, 3.0, 3.0));
+        assert_eq!(-a, v(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_is_hermitian() {
+        let a = ColorVector::new(Z::new(1.0, 2.0), Z::new(0.0, -1.0), Z::new(3.0, 0.5));
+        let b = ColorVector::new(Z::new(-2.0, 1.0), Z::new(4.0, 4.0), Z::new(0.0, 1.0));
+        let ab = a.dot(&b);
+        let ba = b.dot(&a);
+        assert!((ab.re - ba.re).abs() < 1e-14);
+        assert!((ab.im + ba.im).abs() < 1e-14);
+    }
+
+    #[test]
+    fn norm_matches_self_dot() {
+        let a = ColorVector::new(Z::new(1.0, 2.0), Z::new(0.0, -1.0), Z::new(3.0, 0.5));
+        let d = a.dot(&a);
+        assert!((d.re - a.norm_sqr()).abs() < 1e-14);
+        assert!(d.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let a = v(1.0, 1.0, 1.0);
+        let b = v(2.0, 3.0, 4.0);
+        let z = Z::new(0.0, 1.0);
+        let r = a.axpy(z, &b);
+        assert_eq!(r.c[0], Z::new(1.0, 2.0));
+        assert_eq!(r.c[1], Z::new(1.0, 3.0));
+        assert_eq!(r.c[2], Z::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn scale_by_real() {
+        assert_eq!(v(1.0, -2.0, 0.5).scale(2.0), v(2.0, -4.0, 1.0));
+    }
+}

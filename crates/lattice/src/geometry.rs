@@ -1,0 +1,270 @@
+//! Four-dimensional periodic lattice geometry.
+//!
+//! Sites are indexed lexicographically with `x` fastest:
+//! `s = x + Lx*(y + Ly*(z + Lz*t))`.  The Dslash benchmark operates on one
+//! checkerboard parity at a time ("target sites s*, s* = 0..L^4/2" in
+//! Section III-A), so the geometry also provides the even/odd split and
+//! the mapping between full-lattice site indices and per-parity
+//! checkerboard indices.
+
+/// Checkerboard parity of a site: the parity of `x + y + z + t`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// Sites with `(x + y + z + t) % 2 == 0`.
+    Even,
+    /// Sites with `(x + y + z + t) % 2 == 1`.
+    Odd,
+}
+
+impl Parity {
+    /// The opposite parity.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+}
+
+/// A periodic 4-D lattice of extents `dims = [Lx, Ly, Lz, Lt]`.
+///
+/// The paper uses a hypercube (`L = 32`), but nothing below requires the
+/// extents to be equal — only that each is even, so the checkerboard
+/// decomposition is consistent across the periodic boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lattice {
+    dims: [usize; 4],
+    volume: usize,
+}
+
+impl Lattice {
+    /// Create a hypercubic lattice `L^4`.
+    ///
+    /// # Panics
+    /// Panics if `l` is zero or odd (odd extents break the even/odd
+    /// decomposition on a periodic lattice).
+    pub fn hypercubic(l: usize) -> Self {
+        Self::new([l, l, l, l])
+    }
+
+    /// Create a lattice with the given per-dimension extents.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero or odd.
+    pub fn new(dims: [usize; 4]) -> Self {
+        for (d, &ext) in dims.iter().enumerate() {
+            assert!(ext > 0, "lattice extent in dimension {d} must be positive");
+            assert!(
+                ext % 2 == 0,
+                "lattice extent in dimension {d} must be even for checkerboarding (got {ext})"
+            );
+        }
+        let volume = dims.iter().product();
+        Self { dims, volume }
+    }
+
+    /// Per-dimension extents `[Lx, Ly, Lz, Lt]`.
+    #[inline]
+    pub fn dims(&self) -> [usize; 4] {
+        self.dims
+    }
+
+    /// Total number of sites `Lx*Ly*Lz*Lt`.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.volume
+    }
+
+    /// Number of sites of one parity (`L^4 / 2`, the paper's `|s*|`).
+    #[inline]
+    pub fn half_volume(&self) -> usize {
+        self.volume / 2
+    }
+
+    /// Lexicographic site index of the coordinate (x fastest).
+    #[inline]
+    pub fn site(&self, coord: [usize; 4]) -> usize {
+        debug_assert!(coord.iter().zip(&self.dims).all(|(c, d)| c < d));
+        let [x, y, z, t] = coord;
+        let [lx, ly, lz, _] = self.dims;
+        x + lx * (y + ly * (z + lz * t))
+    }
+
+    /// Coordinate of a lexicographic site index.
+    #[inline]
+    pub fn coord(&self, site: usize) -> [usize; 4] {
+        debug_assert!(site < self.volume);
+        let [lx, ly, lz, _] = self.dims;
+        let x = site % lx;
+        let y = (site / lx) % ly;
+        let z = (site / (lx * ly)) % lz;
+        let t = site / (lx * ly * lz);
+        [x, y, z, t]
+    }
+
+    /// Parity of a site.
+    #[inline]
+    pub fn parity(&self, site: usize) -> Parity {
+        let c = self.coord(site);
+        if (c[0] + c[1] + c[2] + c[3]).is_multiple_of(2) {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    /// Neighbor of `site` displaced by `step` (may be negative or larger
+    /// than one) in dimension `dim`, with periodic wraparound.
+    #[inline]
+    pub fn neighbor(&self, site: usize, dim: usize, step: isize) -> usize {
+        let mut c = self.coord(site);
+        let ext = self.dims[dim] as isize;
+        let v = (c[dim] as isize + step).rem_euclid(ext);
+        c[dim] = v as usize;
+        self.site(c)
+    }
+
+    /// Checkerboard index of a site within its parity block:
+    /// sites of each parity are numbered 0.. in lexicographic order.
+    ///
+    /// Because x is the fastest index and extents are even, exactly every
+    /// other site along x has a given parity, so the checkerboard index is
+    /// `site / 2`.
+    #[inline]
+    pub fn checkerboard_index(&self, site: usize) -> usize {
+        site / 2
+    }
+
+    /// Inverse of [`checkerboard_index`](Self::checkerboard_index): the
+    /// lexicographic site of checkerboard index `cb` within `parity`.
+    #[inline]
+    pub fn site_of_checkerboard(&self, cb: usize, parity: Parity) -> usize {
+        debug_assert!(cb < self.half_volume());
+        // Sites 2*cb and 2*cb+1 differ only in x and therefore have
+        // opposite parities; pick the one matching `parity`.
+        let s = 2 * cb;
+        if self.parity(s) == parity {
+            s
+        } else {
+            s + 1
+        }
+    }
+
+    /// Iterate the lexicographic site indices of one parity, in
+    /// checkerboard order.
+    pub fn sites_of_parity(&self, parity: Parity) -> impl Iterator<Item = usize> + '_ {
+        (0..self.half_volume()).map(move |cb| self.site_of_checkerboard(cb, parity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn volume_and_half_volume() {
+        let lat = Lattice::hypercubic(4);
+        assert_eq!(lat.volume(), 256);
+        assert_eq!(lat.half_volume(), 128);
+        let lat = Lattice::new([4, 6, 2, 8]);
+        assert_eq!(lat.volume(), 384);
+    }
+
+    #[test]
+    fn paper_scale_lattice() {
+        let lat = Lattice::hypercubic(32);
+        assert_eq!(lat.volume(), 1 << 20);
+        assert_eq!(lat.half_volume(), 524_288); // the paper's |s*|
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_extent_rejected() {
+        let _ = Lattice::new([4, 3, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_extent_rejected() {
+        let _ = Lattice::new([4, 0, 4, 4]);
+    }
+
+    #[test]
+    fn site_coord_roundtrip() {
+        let lat = Lattice::new([4, 6, 2, 8]);
+        for s in 0..lat.volume() {
+            assert_eq!(lat.site(lat.coord(s)), s);
+        }
+    }
+
+    #[test]
+    fn neighbor_wraps_around() {
+        let lat = Lattice::hypercubic(4);
+        let origin = lat.site([0, 0, 0, 0]);
+        assert_eq!(lat.neighbor(origin, 0, -1), lat.site([3, 0, 0, 0]));
+        assert_eq!(lat.neighbor(origin, 3, 1), lat.site([0, 0, 0, 1]));
+        assert_eq!(lat.neighbor(origin, 1, -3), lat.site([0, 1, 0, 0]));
+        assert_eq!(lat.neighbor(origin, 2, 5), lat.site([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn neighbor_parity_flips_for_odd_steps() {
+        let lat = Lattice::hypercubic(4);
+        for s in 0..lat.volume() {
+            for dim in 0..4 {
+                for step in [-3isize, -1, 1, 3] {
+                    let n = lat.neighbor(s, dim, step);
+                    assert_eq!(lat.parity(n), lat.parity(s).flip(), "site {s} dim {dim} step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checkerboard_is_a_bijection() {
+        let lat = Lattice::new([4, 4, 2, 6]);
+        for parity in [Parity::Even, Parity::Odd] {
+            let mut seen = vec![false; lat.volume()];
+            for cb in 0..lat.half_volume() {
+                let s = lat.site_of_checkerboard(cb, parity);
+                assert_eq!(lat.parity(s), parity);
+                assert_eq!(lat.checkerboard_index(s), cb);
+                assert!(!seen[s]);
+                seen[s] = true;
+            }
+            assert_eq!(seen.iter().filter(|&&b| b).count(), lat.half_volume());
+        }
+    }
+
+    #[test]
+    fn sites_of_parity_covers_half_volume() {
+        let lat = Lattice::hypercubic(4);
+        let evens: Vec<_> = lat.sites_of_parity(Parity::Even).collect();
+        assert_eq!(evens.len(), lat.half_volume());
+        assert!(evens.iter().all(|&s| lat.parity(s) == Parity::Even));
+    }
+
+    proptest! {
+        #[test]
+        fn neighbor_inverse(l in 1usize..5, s in 0usize..4096, dim in 0usize..4,
+                            step in -3isize..=3) {
+            let l = l * 2; // even extents 2,4,6,8
+            let lat = Lattice::hypercubic(l);
+            let s = s % lat.volume();
+            let n = lat.neighbor(s, dim, step);
+            prop_assert_eq!(lat.neighbor(n, dim, -step), s);
+        }
+
+        #[test]
+        fn translation_composes(l in 2usize..4, s in 0usize..4096, dim in 0usize..4) {
+            let l = l * 2;
+            let lat = Lattice::hypercubic(l);
+            let s = s % lat.volume();
+            let one_three = lat.neighbor(lat.neighbor(s, dim, 1), dim, 3);
+            let four = lat.neighbor(s, dim, 4);
+            prop_assert_eq!(one_three, four);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Binary I/O for gauge configurations and quark fields.
+//!
+//! Production lattice-QCD workflows persist gauge configurations between
+//! runs (MILC's own formats are what `su3_rhmd_hisq` reads); a
+//! reproducible benchmark needs the same.  The format here is a simple
+//! versioned little-endian container:
+//!
+//! ```text
+//! magic   : 8 bytes  ("MILCDSL1" for gauge, "MILCQRK1" for quark)
+//! dims    : 4 x u32  (lattice extents)
+//! payload : f64 LE   (gauge: forward fat then forward long links,
+//!                     [s*4+k] order, row-major re/im pairs;
+//!                     quark: per-site 3 complex components)
+//! ```
+//!
+//! Only the forward links are stored; the backward-adjoint arrays are
+//! rebuilt on load (they are derived data, exactly as in
+//! [`GaugeField::from_forward_links`]).
+
+use crate::fields::{GaugeField, LinkType, QuarkField};
+use crate::geometry::Lattice;
+use crate::su3::Su3;
+use crate::ColorVector;
+use milc_complex::ComplexField;
+use std::io::{self, Read, Write};
+
+const GAUGE_MAGIC: &[u8; 8] = b"MILCDSL1";
+const QUARK_MAGIC: &[u8; 8] = b"MILCQRK1";
+
+fn write_header<W: Write>(w: &mut W, magic: &[u8; 8], lattice: &Lattice) -> io::Result<()> {
+    w.write_all(magic)?;
+    for d in lattice.dims() {
+        w.write_all(&(d as u32).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_header<R: Read>(r: &mut R, magic: &[u8; 8]) -> io::Result<Lattice> {
+    let mut m = [0u8; 8];
+    r.read_exact(&mut m)?;
+    if &m != magic {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic: expected {magic:?}, got {m:?}"),
+        ));
+    }
+    let mut dims = [0usize; 4];
+    for d in &mut dims {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *d = u32::from_le_bytes(b) as usize;
+    }
+    if dims.iter().any(|&d| d == 0 || d % 2 != 0) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid lattice extents {dims:?}"),
+        ));
+    }
+    Ok(Lattice::new(dims))
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+/// Write a gauge configuration (forward links only).
+pub fn write_gauge<C: ComplexField, W: Write>(
+    w: &mut W,
+    gauge: &GaugeField<C>,
+) -> io::Result<()> {
+    let lattice = gauge.lattice();
+    write_header(w, GAUGE_MAGIC, lattice)?;
+    for link in [LinkType::FatFwd, LinkType::LongFwd] {
+        for s in 0..lattice.volume() {
+            for k in 0..4 {
+                let m = gauge.link(link, s, k);
+                for i in 0..3 {
+                    for j in 0..3 {
+                        write_f64(w, m.e[i][j].re())?;
+                        write_f64(w, m.e[i][j].im())?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Read a gauge configuration and rebuild the backward arrays.
+pub fn read_gauge<C: ComplexField, R: Read>(r: &mut R) -> io::Result<GaugeField<C>> {
+    let lattice = read_header(r, GAUGE_MAGIC)?;
+    let n = lattice.volume() * 4;
+    let mut arrays: [Vec<Su3<C>>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
+    for arr in &mut arrays {
+        for _ in 0..n {
+            let mut m = Su3::<C>::zero();
+            for i in 0..3 {
+                for j in 0..3 {
+                    let re = read_f64(r)?;
+                    let im = read_f64(r)?;
+                    m.e[i][j] = C::new(re, im);
+                }
+            }
+            arr.push(m);
+        }
+    }
+    let [fat, long] = arrays;
+    Ok(GaugeField::from_forward_links(&lattice, fat, long))
+}
+
+/// Write a quark field.
+pub fn write_quark<C: ComplexField, W: Write>(w: &mut W, q: &QuarkField<C>) -> io::Result<()> {
+    write_header(w, QUARK_MAGIC, q.lattice())?;
+    for s in 0..q.lattice().volume() {
+        for j in 0..3 {
+            write_f64(w, q.site(s).c[j].re())?;
+            write_f64(w, q.site(s).c[j].im())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a quark field.
+pub fn read_quark<C: ComplexField, R: Read>(r: &mut R) -> io::Result<QuarkField<C>> {
+    let lattice = read_header(r, QUARK_MAGIC)?;
+    let mut q = QuarkField::<C>::zeros(&lattice);
+    for s in 0..lattice.volume() {
+        let mut v = ColorVector::<C>::zero();
+        for j in 0..3 {
+            let re = read_f64(r)?;
+            let im = read_f64(r)?;
+            v.c[j] = C::new(re, im);
+        }
+        *q.site_mut(s) = v;
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milc_complex::DoubleComplex as Z;
+
+    #[test]
+    fn gauge_roundtrip_is_bitwise() {
+        let lat = Lattice::new([4, 2, 4, 6]);
+        let g = GaugeField::<Z>::random(&lat, 1234);
+        let mut buf = Vec::new();
+        write_gauge(&mut buf, &g).unwrap();
+        let g2: GaugeField<Z> = read_gauge(&mut buf.as_slice()).unwrap();
+        assert_eq!(g2.lattice(), &lat);
+        for link in LinkType::ALL {
+            assert_eq!(g.array(link), g2.array(link), "{link:?}");
+        }
+    }
+
+    #[test]
+    fn quark_roundtrip_is_bitwise() {
+        let lat = Lattice::hypercubic(4);
+        let q = QuarkField::<Z>::random(&lat, 99);
+        let mut buf = Vec::new();
+        write_quark(&mut buf, &q).unwrap();
+        let q2: QuarkField<Z> = read_quark(&mut buf.as_slice()).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn gauge_file_size_is_forward_links_only() {
+        let lat = Lattice::hypercubic(2);
+        let g = GaugeField::<Z>::random(&lat, 5);
+        let mut buf = Vec::new();
+        write_gauge(&mut buf, &g).unwrap();
+        // header 24 + 2 arrays * V*4 links * 18 f64.
+        assert_eq!(buf.len(), 24 + 2 * lat.volume() * 4 * 18 * 8);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let lat = Lattice::hypercubic(2);
+        let q = QuarkField::<Z>::random(&lat, 5);
+        let mut buf = Vec::new();
+        write_quark(&mut buf, &q).unwrap();
+        let err = read_gauge::<Z, _>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_payload_is_an_error() {
+        let lat = Lattice::hypercubic(2);
+        let g = GaugeField::<Z>::random(&lat, 5);
+        let mut buf = Vec::new();
+        write_gauge(&mut buf, &g).unwrap();
+        buf.truncate(buf.len() - 8);
+        assert!(read_gauge::<Z, _>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupt_dims_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(GAUGE_MAGIC);
+        for d in [4u32, 3, 4, 4] {
+            buf.extend_from_slice(&d.to_le_bytes());
+        }
+        assert!(read_gauge::<Z, _>(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn cross_type_roundtrip() {
+        // Write as DoubleComplex, read as Cplx: byte format is shared.
+        use milc_complex::Cplx;
+        let lat = Lattice::hypercubic(2);
+        let g = GaugeField::<Z>::random(&lat, 31);
+        let mut buf = Vec::new();
+        write_gauge(&mut buf, &g).unwrap();
+        let g2: GaugeField<Cplx> = read_gauge(&mut buf.as_slice()).unwrap();
+        let back: GaugeField<Z> = g2.convert();
+        assert_eq!(g.array(LinkType::FatFwd), back.array(LinkType::FatFwd));
+    }
+}

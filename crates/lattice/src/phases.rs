@@ -1,0 +1,147 @@
+//! Kogut–Susskind staggered phases.
+//!
+//! The physical staggered Dslash multiplies each link by the site-local
+//! phase `η_k(s) = (−1)^{x_0 + … + x_{k−1}}` (and by `(−1)` factors for
+//! antiperiodic temporal boundaries).  Production MILC folds the phases
+//! into the stored gauge links once, up front — after which the kernel
+//! is exactly the phase-free Eq. (1) the paper benchmarks.  This module
+//! provides that fold, so a downstream user can turn a synthetic
+//! benchmark configuration into a physically-phased one (and back: the
+//! fold is an involution).
+
+use crate::fields::GaugeField;
+use crate::geometry::Lattice;
+use crate::su3::Su3;
+use milc_complex::ComplexField;
+
+/// The staggered phase `η_k(s) ∈ {+1, −1}`.
+#[inline]
+pub fn eta(lattice: &Lattice, s: usize, k: usize) -> f64 {
+    let c = lattice.coord(s);
+    let exponent: usize = c[..k].iter().sum();
+    if exponent.is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// Multiply a matrix by a real sign.
+fn scale_mat<C: ComplexField>(m: &Su3<C>, sign: f64) -> Su3<C> {
+    let mut out = Su3::zero();
+    for i in 0..3 {
+        for j in 0..3 {
+            out.e[i][j] = m.e[i][j].scale(sign);
+        }
+    }
+    out
+}
+
+/// Fold the staggered phases into a gauge field's *forward* links and
+/// rebuild the backward arrays: `U'_k(s) = η_k(s) U_k(s)` for both fat
+/// and long links (the long link's phase is the product of the three
+/// traversed η's, which telescopes to `η_k(s)` times two factors that
+/// cancel on even strides — MILC applies `η_k` at the starting site,
+/// which is the convention used here).
+///
+/// Applying the fold twice returns the original field.
+pub fn fold_phases<C: ComplexField>(gauge: &GaugeField<C>) -> GaugeField<C> {
+    let lattice = gauge.lattice().clone();
+    let v = lattice.volume();
+    let mut fat = Vec::with_capacity(v * 4);
+    let mut long = Vec::with_capacity(v * 4);
+    for s in 0..v {
+        for k in 0..4 {
+            let sign = eta(&lattice, s, k);
+            fat.push(scale_mat(
+                gauge.link(crate::fields::LinkType::FatFwd, s, k),
+                sign,
+            ));
+            long.push(scale_mat(
+                gauge.link(crate::fields::LinkType::LongFwd, s, k),
+                sign,
+            ));
+        }
+    }
+    GaugeField::from_forward_links(&lattice, fat, long)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::LinkType;
+    use milc_complex::DoubleComplex as Z;
+
+    #[test]
+    fn eta_structure() {
+        let lat = Lattice::hypercubic(4);
+        // η_0 is always +1 (empty exponent sum).
+        for s in 0..lat.volume() {
+            assert_eq!(eta(&lat, s, 0), 1.0);
+        }
+        // η_1 flips with x parity.
+        let s_even_x = lat.site([0, 1, 2, 3]);
+        let s_odd_x = lat.site([1, 1, 2, 3]);
+        assert_eq!(eta(&lat, s_even_x, 1), 1.0);
+        assert_eq!(eta(&lat, s_odd_x, 1), -1.0);
+        // η_3 depends on x + y + z.
+        let s = lat.site([1, 1, 1, 0]);
+        assert_eq!(eta(&lat, s, 3), -1.0);
+    }
+
+    #[test]
+    fn eta_is_a_sign() {
+        let lat = Lattice::hypercubic(4);
+        for s in (0..lat.volume()).step_by(5) {
+            for k in 0..4 {
+                let e = eta(&lat, s, k);
+                assert!(e == 1.0 || e == -1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_is_an_involution() {
+        let lat = Lattice::hypercubic(4);
+        let g = GaugeField::<Z>::random(&lat, 55);
+        let folded = fold_phases(&g);
+        let back = fold_phases(&folded);
+        for s in (0..lat.volume()).step_by(7) {
+            for k in 0..4 {
+                for l in LinkType::ALL {
+                    assert_eq!(g.link(l, s, k), back.link(l, s, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folded_backward_links_stay_consistent() {
+        // The rebuilt backward arrays must equal the adjoint of the
+        // phased forward link at the displaced site.
+        use crate::neighbors::{Hop, NeighborTable};
+        let lat = Lattice::hypercubic(4);
+        let g = fold_phases(&GaugeField::<Z>::random(&lat, 56));
+        let nt = NeighborTable::build(&lat);
+        for s in (0..lat.volume()).step_by(11) {
+            for k in 0..4 {
+                let sm1 = nt.neighbor(Hop::Bwd1, s, k);
+                assert_eq!(
+                    *g.link(LinkType::FatBwd, s, k),
+                    g.link(LinkType::FatFwd, sm1, k).adjoint()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phases_preserve_unitarity() {
+        let lat = Lattice::hypercubic(2);
+        let g = fold_phases(&GaugeField::<Z>::random(&lat, 57));
+        for s in 0..lat.volume() {
+            for k in 0..4 {
+                assert!(g.link(LinkType::FatFwd, s, k).unitarity_error() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! QUDA-style kernel autotuning.
+//!
+//! QUDA "supports … auto-tuning to optimize the size of thread blocks
+//! and number of blocks launched simultaneously for each kernel"
+//! (Section I).  The tuner does what the library does: launch the kernel
+//! once per candidate block size, time it, and keep the fastest
+//! configuration for subsequent runs.
+
+use gpu_sim::{DeviceSpec, Kernel, Launcher, NdRange, SimError};
+
+/// One tuning measurement.
+#[derive(Clone, Debug)]
+pub struct TunePoint {
+    /// Block (local) size tried.
+    pub local_size: u32,
+    /// Modelled kernel duration, µs.
+    pub duration_us: f64,
+}
+
+/// Autotuning result: the winning block size and the full sweep.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// Fastest block size.
+    pub best_local_size: u32,
+    /// Duration at the winner, µs.
+    pub best_us: f64,
+    /// All measurements, in candidate order.
+    pub sweep: Vec<TunePoint>,
+}
+
+/// The padded launch geometry for `global` work items at block size
+/// `ls`: the grid is rounded up to whole blocks, CUDA-style — the QUDA
+/// kernel bounds-checks its global id, so overhang threads exit early.
+pub fn padded_range(global: u64, ls: u32) -> NdRange {
+    NdRange::linear(global.div_ceil(ls as u64) * ls as u64, ls)
+}
+
+/// Tune a kernel over candidate block sizes (skipping candidates the
+/// launch validation rejects, exactly as QUDA skips unlaunchable
+/// configurations).  Grids are padded to whole blocks, so every warp
+/// multiple is a candidate regardless of the problem size.
+pub fn autotune(
+    kernel: &dyn Kernel,
+    global: u64,
+    candidates: &[u32],
+    device: &DeviceSpec,
+    mem: &gpu_sim::DeviceMemory,
+) -> Result<TuneResult, SimError> {
+    let launcher = Launcher::new(device);
+    let mut sweep = Vec::new();
+    for &ls in candidates {
+        let range = padded_range(global, ls);
+        if range.validate(device).is_err() {
+            continue;
+        }
+        match launcher.launch(kernel, range, mem) {
+            Ok(report) => sweep.push(TunePoint {
+                local_size: ls,
+                duration_us: report.duration_us,
+            }),
+            Err(SimError::RegistersExhausted { .. }) | Err(SimError::LocalMemTooLarge { .. }) => {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.duration_us.partial_cmp(&b.duration_us).expect("finite"))
+        .ok_or(SimError::InvalidLocalSize {
+            local: 0,
+            max: device.max_group_size,
+        })?;
+    Ok(TuneResult {
+        best_local_size: best.local_size,
+        best_us: best.duration_us,
+        sweep,
+    })
+}
+
+/// The block sizes QUDA's tuner tries for a 1-D kernel: warp multiples
+/// up to the device maximum.
+pub fn default_candidates(device: &DeviceSpec) -> Vec<u32> {
+    (1..=device.max_group_size / device.warp_size)
+        .map(|m| m * device.warp_size)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceMemory, KernelResources, Lane};
+
+    struct Touch {
+        buf: u64,
+        n: u64,
+    }
+
+    impl Kernel for Touch {
+        fn name(&self) -> &str {
+            "touch"
+        }
+        fn resources(&self, _ls: u32) -> KernelResources {
+            KernelResources {
+                registers_per_item: 32,
+                local_mem_bytes_per_group: 0,
+            }
+        }
+        fn run_phase(&self, _p: usize, lane: &mut Lane<'_>) {
+            let i = lane.global_id();
+            if i < self.n {
+                let v = lane.ld_global_f64(self.buf + i * 8);
+                lane.st_global_f64(self.buf + i * 8, v + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tuner_finds_a_legal_winner() {
+        let device = DeviceSpec::test_small();
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc(8192 * 8, "b");
+        let k = Touch { buf: b.base(), n: 8192 };
+        let r = autotune(&k, 8192, &default_candidates(&device), &device, &mem).unwrap();
+        assert!(r.best_local_size.is_multiple_of(32));
+        assert!(!r.sweep.is_empty());
+        assert!(r
+            .sweep
+            .iter()
+            .all(|p| p.duration_us >= r.best_us));
+    }
+
+    #[test]
+    fn candidates_are_warp_multiples() {
+        let device = DeviceSpec::a100();
+        let c = default_candidates(&device);
+        assert_eq!(c.first(), Some(&32));
+        assert_eq!(c.last(), Some(&1024));
+        assert!(c.iter().all(|v| v % 32 == 0));
+    }
+
+    #[test]
+    fn indivisible_sizes_are_padded_like_cuda_grids() {
+        let device = DeviceSpec::test_small();
+        let mut mem = DeviceMemory::new();
+        let b = mem.alloc(96 * 8, "b");
+        let k = Touch { buf: b.base(), n: 96 };
+        // 96 is not divisible by 64 or 128; the padded grid makes every
+        // candidate launchable and the kernel's bounds check keeps the
+        // overhang threads idle.
+        let r = autotune(&k, 96, &[32, 64, 96, 128], &device, &mem).unwrap();
+        assert_eq!(r.sweep.len(), 4);
+    }
+
+    #[test]
+    fn padded_range_rounds_up() {
+        assert_eq!(padded_range(648, 64).global, 704);
+        assert_eq!(padded_range(648, 64).num_groups(), 11);
+        assert_eq!(padded_range(640, 64).global, 640);
+    }
+}

@@ -1,0 +1,77 @@
+//! Kernel profiler: run one configuration and print the Nsight-Compute-
+//! style report (the paper's Table I rows) for it — compare strategies
+//! the way Section IV-D does.
+//!
+//! Run with:
+//! `cargo run --release --example profile_kernel [strategy] [order] [local]`
+//! e.g. `... profile_kernel 3LP-1 k-major 96` or `... profile_kernel 4LP-2 i-major 96`.
+
+use gpu_sim::{ProfileReport, QueueMode, TimeBreakdown, TimingModel};
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
+
+fn parse_strategy(s: &str) -> Strategy {
+    match s {
+        "1LP" => Strategy::OneLp,
+        "2LP" => Strategy::TwoLp,
+        "3LP-1" => Strategy::ThreeLp1,
+        "3LP-2" => Strategy::ThreeLp2,
+        "3LP-3" => Strategy::ThreeLp3,
+        "4LP-1" => Strategy::FourLp1,
+        "4LP-2" => Strategy::FourLp2,
+        other => panic!("unknown strategy '{other}' (use 1LP, 2LP, 3LP-1..3, 4LP-1, 4LP-2)"),
+    }
+}
+
+fn parse_order(s: &str) -> IndexOrder {
+    match s {
+        "k-major" | "k" => IndexOrder::KMajor,
+        "i-major" | "i" => IndexOrder::IMajor,
+        "l-major" | "l" => IndexOrder::LMajor,
+        other => panic!("unknown order '{other}' (use k-major, i-major, l-major)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let strategy = parse_strategy(args.get(1).map(String::as_str).unwrap_or("3LP-1"));
+    let order = parse_order(args.get(2).map(String::as_str).unwrap_or("k-major"));
+    let local: u32 = args
+        .get(3)
+        .map(|a| a.parse().expect("local size must be an integer"))
+        .unwrap_or(96);
+
+    let l = 8;
+    let ratio = (l as f64 / 32.0).powi(4);
+    let device = gpu_sim::DeviceSpec::a100().scaled_for_volume_ratio(ratio);
+    let equiv = 108.0 / device.num_sms as f64;
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, 7);
+    let cfg = KernelConfig::new(strategy, order);
+    let hv = problem.lattice().half_volume() as u64;
+    if !cfg.local_size_legal(local, hv) {
+        eprintln!(
+            "local size {local} violates the {} constraint (must be a multiple of {} and divide the global size {}); legal sizes: {:?}",
+            cfg.label(),
+            strategy.local_size_multiple(order),
+            cfg.global_size(hv),
+            cfg.legal_local_sizes(hv)
+        );
+        std::process::exit(2);
+    }
+
+    let out = run_config(&mut problem, cfg, local, &device, QueueMode::OutOfOrder)
+        .expect("launch failed");
+    let profile = ProfileReport::from_launch(
+        format!("{} @ {local} (L = {l})", cfg.label()),
+        &out.report,
+        &device,
+    );
+    println!("{}", profile.render());
+    let breakdown = TimeBreakdown::new(&TimingModel::calibrated(), &out.report.counters);
+    println!("{}", breakdown.render());
+    println!(
+        "A100-equivalent: {:.1} GFLOP/s; validated: {}",
+        out.gflops * equiv,
+        out.error.within_reassociation_noise()
+    );
+}

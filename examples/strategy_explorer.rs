@@ -1,0 +1,50 @@
+//! Strategy explorer: a miniature Fig. 6 — sweep every parallel
+//! strategy, index order and legal local size on a small lattice and
+//! print the performance table.
+//!
+//! Run with: `cargo run --release --example strategy_explorer [L]`
+//! (default L = 8; L = 16 reproduces the shipped results/fig6.csv scale).
+
+use gpu_sim::QueueMode;
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config, DslashProblem, KernelConfig, Strategy};
+
+fn main() {
+    let l: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("lattice size must be an integer"))
+        .unwrap_or(8);
+    let ratio = (l as f64 / 32.0).powi(4);
+    let device = gpu_sim::DeviceSpec::a100().scaled_for_volume_ratio(ratio);
+    let equiv = 108.0 / device.num_sms as f64;
+    println!("sweeping strategies on a {l}^4 lattice ({})\n", device.name);
+
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, 99);
+    let hv = problem.lattice().half_volume() as u64;
+
+    println!(
+        "{:8} {:8} {:>6} {:>12} {:>12} {:>7} {:>6}",
+        "strategy", "order", "local", "duration µs", "GF/s (A100)", "occ %", "ok"
+    );
+    for strategy in Strategy::ALL {
+        for &order in strategy.orders() {
+            let cfg = KernelConfig::new(strategy, order);
+            for ls in cfg.legal_local_sizes(hv) {
+                let out = run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
+                    .expect("legal configuration");
+                println!(
+                    "{:8} {:8} {:>6} {:>12.1} {:>12.1} {:>7.1} {:>6}",
+                    strategy.name(),
+                    order.name(),
+                    ls,
+                    out.report.duration_us,
+                    out.gflops * equiv,
+                    100.0 * out.report.occupancy.achieved,
+                    out.error.within_reassociation_noise(),
+                );
+            }
+        }
+        println!();
+    }
+    println!("(GF/s column is A100-equivalent: scaled by the SM ratio)");
+}

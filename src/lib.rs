@@ -1,0 +1,30 @@
+//! # milc-dslash-repro
+//!
+//! Facade crate of the MILC-Dslash reproduction (Dufek et al.,
+//! "Optimizing MILC-Dslash Performance on NVIDIA A100 GPU: Parallel
+//! Strategies using SYCL", SC 2024): re-exports every workspace crate
+//! and provides the `examples/` binaries and the workspace-level
+//! integration tests (`tests/paper_claims.rs` and friends).
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the substitution table
+//! (what the paper used on real hardware vs. what this repository
+//! builds), and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use gpu_sim::QueueMode;
+//! use milc_complex::DoubleComplex;
+//! use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
+//!
+//! let mut problem = DslashProblem::<DoubleComplex>::random(4, 42);
+//! let device = gpu_sim::DeviceSpec::test_small();
+//! let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+//! let out = run_config(&mut problem, cfg, 96, &device, QueueMode::OutOfOrder).unwrap();
+//! assert!(out.error.within_reassociation_noise());
+//! ```
+
+pub use gpu_sim;
+pub use milc_complex;
+pub use milc_dslash;
+pub use milc_lattice;
+pub use quda_ref;
+pub use syclomatic_sim;

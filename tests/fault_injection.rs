@@ -1,0 +1,131 @@
+//! Failure-injection tests: every resource-exhaustion and misuse path
+//! must surface as a typed error (or a loud panic where the simulated
+//! hardware would corrupt state), never as silent wrong answers.
+
+use gpu_sim::{
+    DeviceMemory, DeviceSpec, Kernel, KernelResources, Lane, Launcher, NdRange, SimError,
+};
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
+
+struct Hog {
+    regs: u32,
+    shared: u32,
+}
+
+impl Kernel for Hog {
+    fn name(&self) -> &str {
+        "hog"
+    }
+    fn resources(&self, _ls: u32) -> KernelResources {
+        KernelResources {
+            registers_per_item: self.regs,
+            local_mem_bytes_per_group: self.shared,
+        }
+    }
+    fn run_phase(&self, _p: usize, _lane: &mut Lane<'_>) {}
+}
+
+#[test]
+fn register_file_exhaustion_is_typed() {
+    let device = DeviceSpec::a100();
+    let mem = DeviceMemory::new();
+    let k = Hog { regs: 255, shared: 0 };
+    let err = Launcher::new(&device).launch(&k, NdRange::linear(2048, 1024), &mem);
+    assert!(matches!(err, Err(SimError::RegistersExhausted { .. })), "{err:?}");
+}
+
+#[test]
+fn local_memory_exhaustion_is_typed() {
+    let device = DeviceSpec::a100();
+    let mem = DeviceMemory::new();
+    let k = Hog { regs: 16, shared: 200 * 1024 };
+    let err = Launcher::new(&device).launch(&k, NdRange::linear(256, 128), &mem);
+    assert!(matches!(err, Err(SimError::LocalMemTooLarge { .. })), "{err:?}");
+}
+
+#[test]
+fn indivisible_and_oversized_ranges_are_typed() {
+    let device = DeviceSpec::a100();
+    let mem = DeviceMemory::new();
+    let k = Hog { regs: 16, shared: 0 };
+    assert!(matches!(
+        Launcher::new(&device).launch(&k, NdRange::linear(1000, 768), &mem),
+        Err(SimError::IndivisibleGlobalSize { .. })
+    ));
+    assert!(matches!(
+        Launcher::new(&device).launch(&k, NdRange::linear(4096, 2048), &mem),
+        Err(SimError::InvalidLocalSize { .. })
+    ));
+}
+
+struct WildLoad;
+
+impl Kernel for WildLoad {
+    fn name(&self) -> &str {
+        "wild"
+    }
+    fn resources(&self, _ls: u32) -> KernelResources {
+        KernelResources { registers_per_item: 8, local_mem_bytes_per_group: 0 }
+    }
+    fn run_phase(&self, _p: usize, lane: &mut Lane<'_>) {
+        // Device address far outside every allocation.
+        let _ = lane.ld_global_f64(0x4000_0000);
+    }
+}
+
+#[test]
+#[should_panic]
+fn out_of_bounds_device_access_faults_loudly() {
+    let device = DeviceSpec::test_small();
+    let mut mem = DeviceMemory::new();
+    let _small = mem.alloc(64, "tiny");
+    let _ = Launcher::new(&device).launch(&WildLoad, NdRange::linear(32, 32), &mem);
+}
+
+#[test]
+fn misaligned_local_size_rejected_before_memory_is_touched() {
+    // The paper's constraint, enforced by the runner: a divisible but
+    // block-misaligned size must not reach execution (it would read
+    // across the work-group's local-memory boundary).
+    let device = DeviceSpec::test_small();
+    let mut p = DslashProblem::<DoubleComplex>::random(4, 90);
+    let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+    // 32 divides 128*12 = 1536 but is not a multiple of 12.
+    let err = run_config(&mut p, cfg, 32, &device, gpu_sim::QueueMode::InOrder);
+    assert!(matches!(err, Err(SimError::InvalidLocalSize { .. })), "{err:?}");
+    // The output buffer is untouched (still zero).
+    assert!(p.read_output().iter().all(|v| v.norm_sqr() == 0.0));
+}
+
+#[test]
+fn wrong_device_state_is_rejected() {
+    use gpu_sim::DeviceState;
+    let a100 = DeviceSpec::a100();
+    let small = DeviceSpec::test_small();
+    let mut mem = DeviceMemory::new();
+    let b = mem.alloc(1024 * 8, "b");
+    struct Touch(u64);
+    impl Kernel for Touch {
+        fn name(&self) -> &str {
+            "touch"
+        }
+        fn resources(&self, _ls: u32) -> KernelResources {
+            KernelResources { registers_per_item: 8, local_mem_bytes_per_group: 0 }
+        }
+        fn run_phase(&self, _p: usize, lane: &mut Lane<'_>) {
+            let i = lane.global_id();
+            lane.st_global_f64(self.0 + i * 8, 1.0);
+        }
+    }
+    let mut state = DeviceState::new(&a100);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Launcher::new(&small).launch_with_state(
+            &Touch(b.base()),
+            NdRange::linear(1024, 64),
+            &mem,
+            &mut state,
+        )
+    }));
+    assert!(result.is_err(), "mismatched device state must be rejected");
+}

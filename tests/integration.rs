@@ -1,0 +1,171 @@
+//! Cross-crate integration tests: the full pipeline from field
+//! generation through device packing, simulation, queueing and the
+//! SYCLomatic migration, plus determinism guarantees.
+
+use gpu_sim::{DeviceSpec, ExecMode, Launcher, QueueMode};
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
+use syclomatic_sim::{migrate, CudaLaunch, Dim3, MigrationOptions};
+
+#[test]
+fn full_pipeline_all_parities_and_seeds() {
+    use milc_lattice::{GaugeField, Parity, QuarkField};
+    let lattice = milc_lattice::Lattice::hypercubic(4);
+    let device = DeviceSpec::test_small();
+    for (seed, parity) in [(1u64, Parity::Even), (2, Parity::Odd)] {
+        let gauge = GaugeField::<DoubleComplex>::random(&lattice, seed);
+        let b = QuarkField::<DoubleComplex>::random(&lattice, seed + 100);
+        let mut problem = DslashProblem::from_fields(gauge, b, parity);
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let out = run_config(&mut problem, cfg, 96, &device, QueueMode::InOrder).unwrap();
+        assert!(
+            out.error.within_reassociation_noise(),
+            "parity {parity:?}: {:?}",
+            out.error
+        );
+    }
+}
+
+#[test]
+fn repeated_launches_are_deterministic() {
+    let device = DeviceSpec::test_small();
+    let run = || {
+        let mut p = DslashProblem::<DoubleComplex>::random(4, 77);
+        let cfg = KernelConfig::new(Strategy::FourLp2, IndexOrder::LMajor);
+        run_config(&mut p, cfg, 96, &device, QueueMode::OutOfOrder).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report.counters, b.report.counters);
+    assert_eq!(a.report.duration_us, b.report.duration_us);
+    assert_eq!(a.gflops, b.gflops);
+}
+
+#[test]
+fn sequential_and_parallel_modes_agree_on_order_free_counters() {
+    let device = DeviceSpec::test_small();
+    let p = DslashProblem::<DoubleComplex>::random(4, 5);
+    let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let range = p.launch_range(cfg, 96);
+    let kernel = p.make_kernel(cfg, range.num_groups());
+
+    p.zero_output();
+    let seq = Launcher::new(&device)
+        .launch(kernel.as_ref(), range, p.memory())
+        .unwrap();
+    let seq_out = p.read_output();
+
+    p.zero_output();
+    let par = Launcher::new(&device)
+        .with_mode(ExecMode::ParallelSms)
+        .launch(kernel.as_ref(), range, p.memory())
+        .unwrap();
+    let par_out = p.read_output();
+
+    // Results identical (disjoint writes).
+    assert_eq!(seq_out.len(), par_out.len());
+    for (a, b) in seq_out.iter().zip(&par_out) {
+        for i in 0..3 {
+            assert_eq!(a.c[i], b.c[i]);
+        }
+    }
+    // Execution-order-free counters identical.
+    assert_eq!(seq.counters.items, par.counters.items);
+    assert_eq!(seq.counters.flops, par.counters.flops);
+    assert_eq!(seq.counters.l1_tag_requests_global, par.counters.l1_tag_requests_global);
+    assert_eq!(seq.counters.shared_wavefronts, par.counters.shared_wavefronts);
+    assert_eq!(seq.counters.divergent_branches, par.counters.divergent_branches);
+    // L2-dependent counters may drift (per-SM slices); bound it.
+    let drift = (seq.counters.l2_sector_misses as f64
+        - par.counters.l2_sector_misses as f64)
+        .abs()
+        / seq.counters.l2_sector_misses.max(1) as f64;
+    assert!(drift < 0.35, "L2 slice drift {drift:.2} too large");
+}
+
+#[test]
+fn migrated_launch_runs_the_kernel_correctly() {
+    // End-to-end SYCLomatic path: migrate a CUDA-style 3LP-1 launch,
+    // then run the kernel under the migrated configuration.
+    let l = 4;
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, 31);
+    let hv = problem.lattice().half_volume() as u64;
+    let local = 96u32;
+    let grid = (hv * 12 / local as u64) as u32;
+
+    let migrated = migrate(
+        CudaLaunch {
+            grid: Dim3::linear(grid),
+            block: Dim3::linear(local),
+            shared_bytes: local * 16,
+        },
+        MigrationOptions::default(),
+    );
+    assert_eq!(migrated.nd_range.global, hv * 12);
+    assert_eq!(migrated.queue_mode, QueueMode::InOrder);
+
+    let cfg = KernelConfig {
+        index_style: migrated.index_style,
+        ..KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor)
+    };
+    let device = DeviceSpec::test_small();
+    let out = run_config(
+        &mut problem,
+        cfg,
+        migrated.nd_range.local,
+        &device,
+        migrated.queue_mode,
+    )
+    .unwrap();
+    assert!(
+        out.error.within_reassociation_noise(),
+        "migrated kernel mismatch: {:?}",
+        out.error
+    );
+}
+
+#[test]
+fn quda_and_milc_agree_on_the_same_fields() {
+    // The two independent device implementations (QUDA-style packing and
+    // the SYCL-layout packing) must compute the same operator.
+    use milc_lattice::{GaugeField, Parity, QuarkField};
+    use quda_ref::{Recon, StaggeredDslashTest};
+    let lattice = milc_lattice::Lattice::hypercubic(4);
+    let gauge = GaugeField::<DoubleComplex>::random(&lattice, 911);
+    let b = QuarkField::<DoubleComplex>::random(&lattice, 912);
+    let device = DeviceSpec::test_small();
+
+    let quda = StaggeredDslashTest::from_fields(gauge.clone(), b.clone(), Parity::Even, Recon::R18);
+    quda.run(&device).unwrap();
+    let quda_out = quda.read_output();
+
+    let mut milc = DslashProblem::from_fields(gauge, b, Parity::Even);
+    let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+    run_config(&mut milc, cfg, 96, &device, QueueMode::InOrder).unwrap();
+    let milc_out = milc.read_output();
+
+    let err = milc_dslash::compare_to_reference(&quda_out, &milc_out);
+    assert!(err.rel < 1e-10, "QUDA vs MILC disagreement: {err:?}");
+}
+
+#[test]
+fn solver_runs_on_top_of_validated_gauge() {
+    // CG on the normal operator built from the same gauge field the
+    // device kernels validated against.
+    use milc_lattice::GaugeField;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let lattice = milc_lattice::Lattice::hypercubic(4);
+    let gauge = GaugeField::<DoubleComplex>::random(&lattice, 13);
+    let mut rng = StdRng::seed_from_u64(14);
+    let b: Vec<_> = (0..lattice.half_volume())
+        .map(|_| {
+            milc_lattice::ColorVector::new(
+                DoubleComplex::new(rng.gen_range(-1.0..1.0), 0.0),
+                DoubleComplex::new(rng.gen_range(-1.0..1.0), 0.0),
+                DoubleComplex::new(rng.gen_range(-1.0..1.0), 0.0),
+            )
+        })
+        .collect();
+    let sol = milc_dslash::solver::solve(&gauge, &b, 0.5, 1e-9, 1000);
+    assert!(sol.converged, "CG residual {}", sol.relative_residual);
+}

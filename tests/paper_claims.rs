@@ -1,0 +1,281 @@
+//! Regression tests for the paper's headline claims (Sections IV-D and
+//! V), asserted as *shape* relations with tolerant bands: who wins, in
+//! what order, by roughly what factor.  Absolute GFLOP/s are covered by
+//! the EXPERIMENTS.md comparison, not asserted here.
+//!
+//! Tests run on a reduced lattice with the volume-matched device (see
+//! DESIGN.md); the relations tested are scale-stable by construction.
+
+use gpu_sim::{DeviceSpec, QueueMode};
+use milc_complex::{Cplx, DoubleComplex};
+use milc_dslash::{run_config, DslashProblem, IndexOrder, IndexStyle, KernelConfig, Strategy};
+
+const L: usize = 8;
+const SEED: u64 = 2024;
+
+fn device() -> DeviceSpec {
+    let ratio = (L as f64 / 32.0).powi(4);
+    DeviceSpec::a100().scaled_for_volume_ratio(ratio)
+}
+
+/// GFLOP/s of a configuration at a local size (default queue/style).
+fn gflops(problem: &mut DslashProblem<DoubleComplex>, cfg: KernelConfig, ls: u32) -> f64 {
+    let out = run_config(problem, cfg, ls, &device(), QueueMode::OutOfOrder)
+        .unwrap_or_else(|e| panic!("{} @ {ls}: {e}", cfg.label()));
+    assert!(
+        out.error.within_reassociation_noise(),
+        "{} @ {ls} failed validation: {:?}",
+        cfg.label(),
+        out.error
+    );
+    out.gflops
+}
+
+/// Best GFLOP/s of a configuration over its legal local sizes.
+fn best(problem: &mut DslashProblem<DoubleComplex>, cfg: KernelConfig) -> f64 {
+    let hv = problem.lattice().half_volume() as u64;
+    cfg.legal_local_sizes(hv)
+        .into_iter()
+        .map(|ls| gflops(problem, cfg, ls))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn cfg(s: Strategy, o: IndexOrder) -> KernelConfig {
+    KernelConfig::new(s, o)
+}
+
+#[test]
+fn claim_3lp1_is_about_2x_faster_than_1lp() {
+    // Section V: "3LP-1 ... provide a 2x speedup over 1LP".
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let one = best(&mut p, cfg(Strategy::OneLp, IndexOrder::KMajor));
+    let three = best(&mut p, cfg(Strategy::ThreeLp1, IndexOrder::KMajor));
+    let speedup = three / one;
+    assert!(
+        (1.6..=2.6).contains(&speedup),
+        "3LP-1 / 1LP speedup {speedup:.2} outside the ~2x band"
+    );
+}
+
+#[test]
+fn claim_performance_rises_to_3lp1_then_falls() {
+    // Section IV-D1: "performance increases as the degree of parallelism
+    // increases from 1LP to 3LP-1, and thereafter it gradually decreases
+    // for 3LP-3, 3LP-2, 4LP-1, and 4LP-2."
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let ls = 96;
+    let one = gflops(&mut p, cfg(Strategy::OneLp, IndexOrder::KMajor), 32);
+    let two = gflops(&mut p, cfg(Strategy::TwoLp, IndexOrder::KMajor), ls);
+    let t1 = gflops(&mut p, cfg(Strategy::ThreeLp1, IndexOrder::KMajor), ls);
+    let t2 = gflops(&mut p, cfg(Strategy::ThreeLp2, IndexOrder::KMajor), ls);
+    let t3 = gflops(&mut p, cfg(Strategy::ThreeLp3, IndexOrder::KMajor), ls);
+    let f1 = gflops(&mut p, cfg(Strategy::FourLp1, IndexOrder::KMajor), ls);
+    let f2 = gflops(&mut p, cfg(Strategy::FourLp2, IndexOrder::LMajor), ls);
+    assert!(one < two && two < t1, "rise to 3LP-1 broken: {one:.0} {two:.0} {t1:.0}");
+    assert!(t1 > t2 && t2 > t3, "3LP ordering broken: {t1:.0} {t2:.0} {t3:.0}");
+    assert!(t3 > f1 && f1 > f2, "4LP fall broken: {t3:.0} {f1:.0} {f2:.0}");
+}
+
+#[test]
+fn claim_atomics_penalize_3lp2_and_3lp3() {
+    // Section IV-D2: 3LP-2/3LP-3 lose up to 8.4%/7.4% versus 3LP-1.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let ls = 96;
+    let t1 = gflops(&mut p, cfg(Strategy::ThreeLp1, IndexOrder::KMajor), ls);
+    let t2 = gflops(&mut p, cfg(Strategy::ThreeLp2, IndexOrder::KMajor), ls);
+    let t3 = gflops(&mut p, cfg(Strategy::ThreeLp3, IndexOrder::KMajor), ls);
+    let pen2 = 100.0 * (1.0 - t2 / t1);
+    let pen3 = 100.0 * (1.0 - t3 / t1);
+    assert!(pen2 > 0.0 && pen2 < 12.0, "3LP-2 penalty {pen2:.1}%");
+    assert!(pen3 > 0.0 && pen3 < 12.0, "3LP-3 penalty {pen3:.1}%");
+}
+
+#[test]
+fn claim_k_major_beats_i_major() {
+    // Section IV-D7: k-major outperforms i-major in 31 of 36 cases.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let ls = 96;
+    for strategy in [
+        Strategy::ThreeLp1,
+        Strategy::ThreeLp2,
+        Strategy::ThreeLp3,
+        Strategy::FourLp1,
+    ] {
+        let k = gflops(&mut p, cfg(strategy, IndexOrder::KMajor), ls);
+        let i = gflops(&mut p, cfg(strategy, IndexOrder::IMajor), ls);
+        assert!(
+            k > i * 0.99,
+            "{}: k-major {k:.0} unexpectedly behind i-major {i:.0}",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn claim_4lp1_slowdown_vs_3lp1_in_band() {
+    // Section IV-D8: "4LP-1 shows a performance decline of 13.2-29.0%
+    // compared to 3LP-1" (band widened for the reduced lattice).
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let t1 = best(&mut p, cfg(Strategy::ThreeLp1, IndexOrder::KMajor));
+    let f1 = best(&mut p, cfg(Strategy::FourLp1, IndexOrder::KMajor));
+    let decline = 100.0 * (1.0 - f1 / t1);
+    assert!(
+        (8.0..=40.0).contains(&decline),
+        "4LP-1 decline {decline:.1}% outside the band"
+    );
+}
+
+#[test]
+fn claim_4lp2_l_major_beats_i_major() {
+    // Section IV-D8: l-major outperforms i-major by 8.2-11.0% because
+    // active work-items cluster in runs of 3 instead of 1.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let ls = 96;
+    let lm = gflops(&mut p, cfg(Strategy::FourLp2, IndexOrder::LMajor), ls);
+    let im = gflops(&mut p, cfg(Strategy::FourLp2, IndexOrder::IMajor), ls);
+    let adv = 100.0 * (lm / im - 1.0);
+    assert!(
+        (4.0..=25.0).contains(&adv),
+        "4LP-2 l-major advantage {adv:.1}% outside the band"
+    );
+}
+
+#[test]
+fn claim_in_order_queue_beats_out_of_order() {
+    // Section IV-D6: in-order advantage 1.5-6.7%.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let c = cfg(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let d = device();
+    let ooo = run_config(&mut p, c, 96, &d, QueueMode::OutOfOrder).unwrap();
+    let ino = run_config(&mut p, c, 96, &d, QueueMode::InOrder).unwrap();
+    let adv = 100.0 * (ino.gflops / ooo.gflops - 1.0);
+    assert!(
+        (0.5..=8.0).contains(&adv),
+        "in-order advantage {adv:.2}% outside the 1.5-6.7% neighbourhood"
+    );
+}
+
+#[test]
+fn claim_composed_indexing_is_slower() {
+    // Section IV-D6: the unoptimized SYCLomatic indexing costs
+    // 10.0-12.2% (our mapping-locality model recovers roughly half of
+    // it; see EXPERIMENTS.md).
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let d = device();
+    let direct = cfg(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let composed = KernelConfig {
+        index_style: IndexStyle::Composed,
+        ..direct
+    };
+    let a = run_config(&mut p, direct, 96, &d, QueueMode::InOrder).unwrap();
+    let b = run_config(&mut p, composed, 96, &d, QueueMode::InOrder).unwrap();
+    assert!(b.error.within_reassociation_noise(), "composed run invalid");
+    let pen = 100.0 * (1.0 - b.gflops / a.gflops);
+    assert!(
+        (2.0..=20.0).contains(&pen),
+        "composed-indexing penalty {pen:.1}% outside the band"
+    );
+}
+
+#[test]
+fn claim_register_cap_helps() {
+    // Section IV-D4: -maxrregcount 64 gains up to 3.6% by eliminating
+    // spills.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let d = device();
+    let base = cfg(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let capped = KernelConfig {
+        spills_per_item: 0,
+        ..base
+    };
+    let a = run_config(&mut p, base, 96, &d, QueueMode::InOrder).unwrap();
+    let b = run_config(&mut p, capped, 96, &d, QueueMode::InOrder).unwrap();
+    let gain = 100.0 * (b.gflops / a.gflops - 1.0);
+    assert!(
+        (1.0..=12.0).contains(&gain),
+        "register-cap gain {gain:.1}% outside the band"
+    );
+}
+
+#[test]
+fn claim_syclcplx_within_3_percent() {
+    // Section IV-D5: SyclCPLX differences below 3%.
+    let d = device();
+    let c = cfg(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let mut p1 = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let mut p2 = DslashProblem::<Cplx>::random(L, SEED);
+    let a = run_config(&mut p1, c, 96, &d, QueueMode::OutOfOrder).unwrap();
+    let b = run_config(&mut p2, c, 96, &d, QueueMode::OutOfOrder).unwrap();
+    let delta = 100.0 * (b.gflops / a.gflops - 1.0).abs();
+    assert!(delta < 3.0, "SyclCPLX delta {delta:.2}% exceeds 3%");
+}
+
+/// QUDA comparisons need a lattice large enough that the thread-per-site
+/// baseline fills the (scaled) device the way L = 32 fills the A100;
+/// run in release (`cargo test --release`), skipped under debug because
+/// the L = 12 simulation is slow unoptimized.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+fn claim_3lp1_beats_quda_recon18_and_recon_orders() {
+    use quda_ref::{Recon, StaggeredDslashTest};
+    let l = 16;
+    let ratio = (l as f64 / 32.0).powi(4);
+    let d = DeviceSpec::a100().scaled_for_volume_ratio(ratio);
+
+    let g18 = StaggeredDslashTest::random(l, SEED, Recon::R18).run(&d).unwrap().gflops;
+    let g12 = StaggeredDslashTest::random(l, SEED, Recon::R12).run(&d).unwrap().gflops;
+    let g9 = StaggeredDslashTest::random(l, SEED, Recon::R9).run(&d).unwrap().gflops;
+    // Section IV-D3: compression monotonically helps QUDA.
+    assert!(g12 > g18 && g9 > g12, "recon ordering broken: {g18:.0} {g12:.0} {g9:.0}");
+
+    // All 3LP-1 variants outperform QUDA recon-18, best by ~10%
+    // (band widened to cover the reduced scale).
+    let mut p = DslashProblem::<DoubleComplex>::random(l, SEED);
+    let base = cfg(Strategy::ThreeLp1, IndexOrder::KMajor);
+    let hv = p.lattice().half_volume() as u64;
+    let mut best_gf = f64::NEG_INFINITY;
+    for ls in base.legal_local_sizes(hv) {
+        // The best variant: CUDA with the register cap (in-order queue,
+        // no spills), Section IV-D4.
+        let capped = KernelConfig { spills_per_item: 0, ..base };
+        let out = run_config(&mut p, capped, ls, &d, QueueMode::InOrder).unwrap();
+        best_gf = best_gf.max(out.gflops);
+    }
+    let improvement = 100.0 * (best_gf / g18 - 1.0);
+    assert!(
+        (3.0..=35.0).contains(&improvement),
+        "best 3LP-1 variant over QUDA recon-18: {improvement:.1}% outside the band"
+    );
+}
+
+#[test]
+fn claim_4lp2_i_major_underperforms_2lp() {
+    // Section IV-D8: "4LP-2 in i-major order even underperforming 2LP
+    // by 3.9-26.3% in 3 out of 4 local sizes" — the fully-parallel
+    // strategy with the worst active-lane clustering loses to the
+    // medium-grained one (band widened for the reduced lattice).
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let two = best(&mut p, cfg(Strategy::TwoLp, IndexOrder::KMajor));
+    let f2i = best(&mut p, cfg(Strategy::FourLp2, IndexOrder::IMajor));
+    let deficit = 100.0 * (1.0 - f2i / two);
+    assert!(
+        (3.0..=45.0).contains(&deficit),
+        "4LP-2 i-major vs 2LP deficit {deficit:.1}% outside the band"
+    );
+}
+
+#[test]
+fn claim_best_4lp_order_beats_worst_by_16_to_23_pct() {
+    // Section IV-D8: "The optimal work-item index order (Fig. 4a) can
+    // lead to performance improvements of 16.3-23.4% over the
+    // worst-performing one (Fig. 5b)" — 4LP-1 k-major vs 4LP-2 i-major.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, SEED);
+    let ls = 96;
+    let best_order = gflops(&mut p, cfg(Strategy::FourLp1, IndexOrder::KMajor), ls);
+    let worst_order = gflops(&mut p, cfg(Strategy::FourLp2, IndexOrder::IMajor), ls);
+    let improvement = 100.0 * (best_order / worst_order - 1.0);
+    assert!(
+        (10.0..=35.0).contains(&improvement),
+        "best-vs-worst 4LP order improvement {improvement:.1}% outside the band"
+    );
+}

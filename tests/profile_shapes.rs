@@ -1,0 +1,168 @@
+//! Table I *shape* tests: the profile counters the paper uses to explain
+//! the performance differences must show the same structure in the
+//! simulator — zero vs non-zero rows, orderings, and ratios.
+
+use gpu_sim::QueueMode;
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, RunOutcome, Strategy};
+
+const L: usize = 8;
+
+fn run(p: &mut DslashProblem<DoubleComplex>, s: Strategy, o: IndexOrder, ls: u32) -> RunOutcome {
+    let ratio = (L as f64 / 32.0).powi(4);
+    let device = gpu_sim::DeviceSpec::a100().scaled_for_volume_ratio(ratio);
+    run_config(p, KernelConfig::new(s, o), ls, &device, QueueMode::OutOfOrder).unwrap()
+}
+
+#[test]
+fn local_memory_rows_match_table1_structure() {
+    // Rows 9/11: only 3LP-1, 3LP-2 and 4LP use shared memory; 1LP, 2LP
+    // and 3LP-3 report zero.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, 3);
+    for (s, expect_shared) in [
+        (Strategy::OneLp, false),
+        (Strategy::TwoLp, false),
+        (Strategy::ThreeLp1, true),
+        (Strategy::ThreeLp2, true),
+        (Strategy::ThreeLp3, false),
+        (Strategy::FourLp1, true),
+        (Strategy::FourLp2, true),
+    ] {
+        let order = s.orders()[0];
+        let ls = if s == Strategy::OneLp || s == Strategy::TwoLp { 32 } else { 96 };
+        let out = run(&mut p, s, order, ls);
+        let has_wavefronts = out.report.counters.shared_wavefronts > 0;
+        assert_eq!(
+            has_wavefronts,
+            expect_shared,
+            "{}: shared wavefronts {}",
+            s.name(),
+            out.report.counters.shared_wavefronts
+        );
+        let res_shared = out.report.resources.local_mem_bytes_per_group > 0;
+        assert_eq!(res_shared, expect_shared, "{}: resources row", s.name());
+    }
+}
+
+#[test]
+fn divergent_branches_only_in_4lp() {
+    // Row 13: thousands for 4LP, zero elsewhere (3LP's single-writer
+    // `if (k == 0)` collapses are predicated, not divergent).
+    let mut p = DslashProblem::<DoubleComplex>::random(L, 4);
+    for s in [Strategy::OneLp, Strategy::TwoLp, Strategy::ThreeLp1, Strategy::ThreeLp3] {
+        let ls = if matches!(s, Strategy::OneLp | Strategy::TwoLp) { 32 } else { 96 };
+        let out = run(&mut p, s, s.orders()[0], ls);
+        assert_eq!(
+            out.report.counters.divergent_branches,
+            0,
+            "{} must not diverge",
+            s.name()
+        );
+    }
+    for s in [Strategy::FourLp1, Strategy::FourLp2] {
+        let out = run(&mut p, s, s.orders()[0], 96);
+        assert!(
+            out.report.counters.divergent_branches > out.report.counters.warps,
+            "{} must diverge on the l-branch every warp",
+            s.name()
+        );
+    }
+}
+
+#[test]
+fn atomics_only_in_3lp2_and_3lp3() {
+    let mut p = DslashProblem::<DoubleComplex>::random(L, 5);
+    for s in Strategy::ALL {
+        let ls = if matches!(s, Strategy::OneLp | Strategy::TwoLp) { 32 } else { 96 };
+        let out = run(&mut p, s, s.orders()[0], ls);
+        let has = out.report.counters.atomic_instructions > 0;
+        assert_eq!(has, s.uses_atomics(), "{}", s.name());
+        if s == Strategy::ThreeLp2 {
+            // 4 lanes (k-values) collide per C(i, s) component.
+            let c = &out.report.counters;
+            assert!(
+                c.atomic_passes >= 3 * c.atomic_instructions,
+                "3LP-2 must show multi-way atomic collisions"
+            );
+        }
+    }
+}
+
+#[test]
+fn tag_requests_track_coalescing_quality() {
+    // Row 10's structure: 1LP (fully scattered per-site loads) issues
+    // far more tag requests per byte than 3LP-1; i-major more than
+    // k-major.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, 6);
+    let one = run(&mut p, Strategy::OneLp, IndexOrder::KMajor, 32);
+    let three_k = run(&mut p, Strategy::ThreeLp1, IndexOrder::KMajor, 96);
+    let three_i = run(&mut p, Strategy::ThreeLp1, IndexOrder::IMajor, 96);
+    assert!(
+        one.report.counters.l1_tag_requests_global
+            > 3 * three_k.report.counters.l1_tag_requests_global / 2,
+        "1LP must need ~2x the tag requests of 3LP-1"
+    );
+    assert!(
+        three_i.report.counters.l1_tag_requests_global
+            > three_k.report.counters.l1_tag_requests_global,
+        "i-major must need more tag requests than k-major (Table I row 10)"
+    );
+}
+
+#[test]
+fn four_lp_has_more_shared_traffic_and_bank_conflicts() {
+    // Rows 11/12: 4LP's two reductions multiply its shared-memory
+    // wavefronts and conflicts versus 3LP-1.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, 7);
+    let t1 = run(&mut p, Strategy::ThreeLp1, IndexOrder::KMajor, 96);
+    let f1 = run(&mut p, Strategy::FourLp1, IndexOrder::KMajor, 96);
+    let f2i = run(&mut p, Strategy::FourLp2, IndexOrder::IMajor, 96);
+    assert!(
+        f1.report.counters.shared_wavefronts > 2 * t1.report.counters.shared_wavefronts,
+        "4LP-1 shared wavefronts must dwarf 3LP-1's"
+    );
+    // 4LP-2 i-major shows the worst bank behaviour in Table I (row 12).
+    assert!(
+        f2i.report.counters.excessive_shared_wavefronts()
+            >= f1.report.counters.excessive_shared_wavefronts(),
+        "4LP-2 i-major must have at least 4LP-1 k-major's conflicts"
+    );
+}
+
+#[test]
+fn occupancy_structure_matches_table1() {
+    // Row 4: 1LP is register-bound near 50% theoretical; the finer
+    // strategies sit near 75%.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, 8);
+    let one = run(&mut p, Strategy::OneLp, IndexOrder::KMajor, 256);
+    let three = run(&mut p, Strategy::ThreeLp1, IndexOrder::KMajor, 768);
+    assert!(
+        (0.45..=0.52).contains(&one.report.occupancy.theoretical),
+        "1LP theoretical occupancy {}",
+        one.report.occupancy.theoretical
+    );
+    assert!(
+        (0.70..=0.80).contains(&three.report.occupancy.theoretical),
+        "3LP-1 theoretical occupancy {}",
+        three.report.occupancy.theoretical
+    );
+    assert!(one.report.occupancy.achieved < three.report.occupancy.achieved);
+}
+
+#[test]
+fn work_items_row_matches_strategy_multipliers() {
+    // Row 2: 1x, 3x, 12x, 48x the half-volume.
+    let mut p = DslashProblem::<DoubleComplex>::random(L, 9);
+    let hv = p.lattice().half_volume() as u64;
+    for (s, mult) in [
+        (Strategy::OneLp, 1),
+        (Strategy::TwoLp, 3),
+        (Strategy::ThreeLp1, 12),
+        (Strategy::FourLp1, 48),
+    ] {
+        let ls = if mult < 12 { 32 } else { 96 };
+        let out = run(&mut p, s, s.orders()[0], ls);
+        assert_eq!(out.report.range.global, hv * mult, "{}", s.name());
+        assert_eq!(out.report.counters.items, hv * mult, "{}", s.name());
+    }
+}
