@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full quality-gate stack (DESIGN §7).  Everything runs offline against
+# the vendored dependency shims.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test --offline -q --workspace
+
+echo "== sancheck (sanitizer gate) =="
+cargo run --offline --release -p milc-bench --bin sancheck
+
+echo "== CI OK =="

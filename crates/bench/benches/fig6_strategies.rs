@@ -39,16 +39,12 @@ fn bench_strategies(c: &mut Criterion) {
                 out.gflops * equiv,
                 out.report.duration_us
             );
-            group.bench_with_input(
-                BenchmarkId::new(cfg.label(), ls),
-                &cfg,
-                |b, &cfg| {
-                    b.iter(|| {
-                        run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
-                            .expect("legal configuration")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(cfg.label(), ls), &cfg, |b, &cfg| {
+                b.iter(|| {
+                    run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
+                        .expect("legal configuration")
+                })
+            });
         }
     }
     group.finish();

@@ -25,7 +25,11 @@ fn bench_table1(c: &mut Criterion) {
         let cfg = KernelConfig::new(col.strategy, col.order);
         // The paper's 768/256 need not divide the small lattice's global
         // size; use the largest legal size instead.
-        let preferred = if col.strategy == Strategy::OneLp { 256 } else { 768 };
+        let preferred = if col.strategy == Strategy::OneLp {
+            256
+        } else {
+            768
+        };
         let ls = if cfg.local_size_legal(preferred, hv) {
             preferred
         } else {
@@ -33,11 +37,8 @@ fn bench_table1(c: &mut Criterion) {
         };
         let out = run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
             .expect("table 1 configuration");
-        let profile = ProfileReport::from_launch(
-            format!("{} @ {ls}", cfg.label()),
-            &out.report,
-            &device,
-        );
+        let profile =
+            ProfileReport::from_launch(format!("{} @ {ls}", cfg.label()), &out.report, &device);
         println!("{}", profile.render());
         group.bench_with_input(BenchmarkId::new(cfg.label(), ls), &cfg, |b, &cfg| {
             b.iter(|| {

@@ -30,7 +30,10 @@ fn main() {
     let ls = 96;
 
     println!("== ablation 1: registers/item vs occupancy (3LP-1 @ {ls}) ==");
-    println!("{:>6} {:>10} {:>12} {:>12}", "regs", "occ %", "duration µs", "GF/s equiv");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12}",
+        "regs", "occ %", "duration µs", "GF/s equiv"
+    );
     for regs in (24..=72).step_by(8) {
         let cfg = KernelConfig {
             registers_override: Some(regs),
@@ -48,7 +51,10 @@ fn main() {
     }
 
     println!("\n== ablation 2: L2 capacity (3LP-1 @ {ls}) ==");
-    println!("{:>10} {:>10} {:>12}", "L2 (MB)", "L2 miss %", "duration µs");
+    println!(
+        "{:>10} {:>10} {:>12}",
+        "L2 (MB)", "L2 miss %", "duration µs"
+    );
     for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
         let mut device = exp.device.clone();
         device.l2_bytes = ((device.l2_bytes as f64 * factor) as u64 / 128).max(16) * 128;
@@ -84,7 +90,10 @@ fn main() {
     }
 
     println!("\n== ablation 4: local size (3LP-1 k-major, Section IV-D9) ==");
-    println!("{:>7} {:>10} {:>12} {:>12}", "local", "occ %", "duration µs", "GF/s equiv");
+    println!(
+        "{:>7} {:>10} {:>12} {:>12}",
+        "local", "occ %", "duration µs", "GF/s equiv"
+    );
     let hv = problem.lattice().half_volume() as u64;
     for ls in base.legal_local_sizes(hv) {
         let out = run_config_warm(&mut problem, base, ls, &exp.device, QueueMode::OutOfOrder)
@@ -97,5 +106,4 @@ fn main() {
             out.gflops * exp.a100_equiv_factor()
         );
     }
-
 }

@@ -7,8 +7,8 @@
 //! scale).  Writes `results/fig6.csv` and prints the series summary.
 
 use milc_bench::{
-    best_of, best_of_order, extension_compressed_3lp1, fig6_strategies, fig6_variants,
-    quda_recons, rows_to_csv, Experiment,
+    best_of, best_of_order, extension_compressed_3lp1, fig6_strategies, fig6_variants, quda_recons,
+    rows_to_csv, Experiment,
 };
 use milc_complex::{Cplx, DoubleComplex};
 use milc_dslash::{DslashProblem, IndexOrder};
@@ -46,7 +46,10 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results dir");
     let mut csv = rows_to_csv(&rows);
     for (recon, gflops, ls) in &quda {
-        csv.push_str(&format!("QUDA {},-,{ls},{gflops:.1},,,true,\n", recon.label()));
+        csv.push_str(&format!(
+            "QUDA {},-,{ls},{gflops:.1},,,true,\n",
+            recon.label()
+        ));
     }
     std::fs::write("results/fig6.csv", &csv).expect("write results/fig6.csv");
 
@@ -97,13 +100,19 @@ fn main() {
             recon.label()
         );
     }
-    println!("\nfull sweep written to results/fig6.csv ({} rows)", rows.len());
+    println!(
+        "\nfull sweep written to results/fig6.csv ({} rows)",
+        rows.len()
+    );
 
     // Validation gate: every point must have matched the CPU reference.
     let bad: Vec<_> = rows.iter().filter(|r| !r.validated).collect();
     if !bad.is_empty() {
         for b in &bad {
-            eprintln!("VALIDATION FAILURE: {} @ {}: rel {}", b.series, b.local_size, b.max_rel_error);
+            eprintln!(
+                "VALIDATION FAILURE: {} @ {}: rel {}",
+                b.series, b.local_size, b.max_rel_error
+            );
         }
         std::process::exit(1);
     }

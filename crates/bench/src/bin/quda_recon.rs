@@ -16,14 +16,23 @@ fn main() {
 
     let results = quda_recons(&exp);
     println!("\n=== QUDA staggered_dslash_test (Section IV-D3) ===\n");
-    println!("{:10} {:>12} {:>14} {:>14}", "recon", "tuned block", "paper GF/s", "sim GF/s");
+    println!(
+        "{:10} {:>12} {:>14} {:>14}",
+        "recon", "tuned block", "paper GF/s", "sim GF/s"
+    );
     for (recon, gflops, ls) in &results {
         let paper_val = match recon {
             Recon::R18 => paper::QUDA_RECON18_GFLOPS,
             Recon::R12 => paper::QUDA_RECON12_GFLOPS,
             Recon::R9 => paper::QUDA_RECON9_GFLOPS,
         };
-        println!("{:10} {:>12} {:>14.1} {:>14.1}", recon.label(), ls, paper_val, gflops);
+        println!(
+            "{:10} {:>12} {:>14.1} {:>14.1}",
+            recon.label(),
+            ls,
+            paper_val,
+            gflops
+        );
     }
 
     std::fs::create_dir_all("results").expect("create results dir");

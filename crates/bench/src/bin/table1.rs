@@ -36,7 +36,17 @@ fn main() {
     println!("=== paper vs measured (key rows) ===\n");
     println!(
         "{:12} {:>12} {:>12} | {:>7} {:>7} | {:>7} {:>7} | {:>7} {:>7} | {:>9} {:>9}",
-        "config", "paper µs", "sim µs", "occ p", "occ s", "L1m p", "L1m s", "L2m p", "L2m s", "tags p", "tags s"
+        "config",
+        "paper µs",
+        "sim µs",
+        "occ p",
+        "occ s",
+        "L1m p",
+        "L1m s",
+        "L2m p",
+        "L2m s",
+        "tags p",
+        "tags s"
     );
     for (col, prof) in paper::TABLE1.iter().zip(&profiles) {
         println!(

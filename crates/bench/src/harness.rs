@@ -4,10 +4,8 @@
 use crate::paper;
 use gpu_sim::timing::CalibrationSample;
 use gpu_sim::{DeviceSpec, ProfileReport, QueueMode};
-use milc_complex::{Cplx, ComplexField, DoubleComplex};
-use milc_dslash::{
-    run_config_warm, DslashProblem, IndexOrder, KernelConfig, RunOutcome, Strategy,
-};
+use milc_complex::{ComplexField, Cplx, DoubleComplex};
+use milc_dslash::{run_config_warm, DslashProblem, IndexOrder, KernelConfig, RunOutcome, Strategy};
 use quda_ref::{Recon, StaggeredDslashTest};
 
 /// An experiment context: lattice size, matched device, seed.
@@ -89,7 +87,12 @@ pub struct SweepRow {
 }
 
 impl SweepRow {
-    fn from_outcome(series: String, order: Option<IndexOrder>, out: &RunOutcome, exp: &Experiment) -> Self {
+    fn from_outcome(
+        series: String,
+        order: Option<IndexOrder>,
+        out: &RunOutcome,
+        exp: &Experiment,
+    ) -> Self {
         Self {
             series,
             order,
@@ -191,8 +194,8 @@ pub fn fig6_variants(
         ..base
     };
     for &ls in &sizes {
-        let out =
-            run_config_warm(problem_dc, raw, ls, &exp.device, queue_raw).expect("legal configuration");
+        let out = run_config_warm(problem_dc, raw, ls, &exp.device, queue_raw)
+            .expect("legal configuration");
         rows.push(SweepRow::from_outcome(
             "3LP-1 SYCLomatic".into(),
             Some(IndexOrder::KMajor),
@@ -208,8 +211,8 @@ pub fn fig6_variants(
         ..base
     };
     for &ls in &sizes {
-        let out =
-            run_config_warm(problem_dc, opt, ls, &exp.device, queue_opt).expect("legal configuration");
+        let out = run_config_warm(problem_dc, opt, ls, &exp.device, queue_opt)
+            .expect("legal configuration");
         rows.push(SweepRow::from_outcome(
             "3LP-1 SYCLomatic opt".into(),
             Some(IndexOrder::KMajor),
@@ -230,8 +233,7 @@ pub fn extension_compressed_3lp1(exp: &Experiment) -> Vec<SweepRow> {
     let base = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
     let mut rows = Vec::new();
     for recon in [Recon::R12, Recon::R9] {
-        let mut problem =
-            DslashProblem::<DoubleComplex>::random_with_recon(exp.l, exp.seed, recon);
+        let mut problem = DslashProblem::<DoubleComplex>::random_with_recon(exp.l, exp.seed, recon);
         let hv = problem.lattice().half_volume() as u64;
         for ls in base.legal_local_sizes(hv) {
             let out = run_config_warm(&mut problem, base, ls, &exp.device, QueueMode::OutOfOrder)

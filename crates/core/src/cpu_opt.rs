@@ -68,33 +68,35 @@ pub fn dslash_opt_into(
     ];
     let bsites = b.as_slice();
 
-    out.par_chunks_mut(CHUNK).enumerate().for_each(|(chunk, slots)| {
-        let cb0 = chunk * CHUNK;
-        for (off, slot) in slots.iter_mut().enumerate() {
-            let cb = cb0 + off;
-            let s = lattice.site_of_checkerboard(cb, parity);
-            let mut acc = [Acc::zero(); 3];
-            for (l, links) in arrays.iter().enumerate() {
-                let sign = if l < 2 { 1.0 } else { -1.0 };
-                for k in 0..4 {
-                    let src = nt.source_site(l, s, k);
-                    let bv = &bsites[src];
-                    let m = &links[s * 4 + k];
-                    // Fully unrolled 3x3 complex mat-vec.
-                    for (a, row) in acc.iter_mut().zip(&m.e) {
-                        a.fma(row[0], bv.c[0], sign);
-                        a.fma(row[1], bv.c[1], sign);
-                        a.fma(row[2], bv.c[2], sign);
+    out.par_chunks_mut(CHUNK)
+        .enumerate()
+        .for_each(|(chunk, slots)| {
+            let cb0 = chunk * CHUNK;
+            for (off, slot) in slots.iter_mut().enumerate() {
+                let cb = cb0 + off;
+                let s = lattice.site_of_checkerboard(cb, parity);
+                let mut acc = [Acc::zero(); 3];
+                for (l, links) in arrays.iter().enumerate() {
+                    let sign = if l < 2 { 1.0 } else { -1.0 };
+                    for k in 0..4 {
+                        let src = nt.source_site(l, s, k);
+                        let bv = &bsites[src];
+                        let m = &links[s * 4 + k];
+                        // Fully unrolled 3x3 complex mat-vec.
+                        for (a, row) in acc.iter_mut().zip(&m.e) {
+                            a.fma(row[0], bv.c[0], sign);
+                            a.fma(row[1], bv.c[1], sign);
+                            a.fma(row[2], bv.c[2], sign);
+                        }
                     }
                 }
+                *slot = ColorVector::new(
+                    DoubleComplex::new(acc[0].re, acc[0].im),
+                    DoubleComplex::new(acc[1].re, acc[1].im),
+                    DoubleComplex::new(acc[2].re, acc[2].im),
+                );
             }
-            *slot = ColorVector::new(
-                DoubleComplex::new(acc[0].re, acc[0].im),
-                DoubleComplex::new(acc[1].re, acc[1].im),
-                DoubleComplex::new(acc[2].re, acc[2].im),
-            );
-        }
-    });
+        });
 }
 
 /// Allocating convenience wrapper around [`dslash_opt_into`].

@@ -198,12 +198,7 @@ pub fn row_term<C: ComplexField>(
 /// 48 for 4LP, 1/3 for 1LP/2LP); blocks stay intact so the local-memory
 /// reductions remain correct.
 #[inline]
-pub fn effective_gid(
-    lane: &mut Lane<'_>,
-    composed: bool,
-    num_groups: u64,
-    site_block: u32,
-) -> u64 {
+pub fn effective_gid(lane: &mut Lane<'_>, composed: bool, num_groups: u64, site_block: u32) -> u64 {
     if !composed {
         lane.iops(1);
         lane.global_id()

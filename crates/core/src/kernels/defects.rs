@@ -1,0 +1,241 @@
+//! Deliberately broken kernels exercising the simulator's sanitizer.
+//!
+//! Each fixture is a *minimal* mutant of one of the shipped Dslash
+//! kernels, reproducing a bug class the paper's parallel strategies must
+//! avoid (Section III-C's race discussion) and that the sanitizer must
+//! classify:
+//!
+//! * [`BrokenBarrierThreeLp1`] — 3LP-1 with the `group_barrier` deleted:
+//!   the single-writer collapse reads local-memory partials the other
+//!   work-items are still writing (**race**, plus a
+//!   `LocalMemNoBarrier` **lint**);
+//! * [`PlainStoreThreeLp3`] — 3LP-3 with the `atomic_ref` accumulation
+//!   replaced by a plain read-modify-write: the four `k`-items of one
+//!   site update `C(i, s)` unordered (**race**, exactly the bug the
+//!   atomics exist to prevent);
+//! * [`OobGaugeIndex`] — an index-arithmetic overflow that walks past
+//!   the arena's last allocation (**memcheck**: the class of bug the
+//!   composed MILC index expressions invite);
+//! * [`UninitCRead`] — accumulates into `C` without the host having
+//!   zeroed it first, i.e. a missing `zero_output()` (**uninit**).
+//!
+//! The fixtures still declare lane lockstep correctly (`set_path`), so
+//! the only findings they produce are the ones they are built to
+//! produce; tests can assert *exactly one* classified finding under a
+//! single-check [`SanitizerConfig`](gpu_sim::SanitizerConfig).
+
+use super::common::DevTables;
+use crate::problem::MAX_SPILLS;
+use gpu_sim::{Kernel, KernelResources, Lane};
+use milc_lattice::{NDIM, NROW};
+
+/// Registers the slim defect bodies plausibly need.
+const DEFECT_REGISTERS: u32 = 32;
+
+/// 3LP-1 (k-major) with its barrier removed: one phase stores each
+/// item's partial to local memory *and* lets the `k == 0` item collapse
+/// the four partials in the same breath — no ordering edge between the
+/// writers and the reader.
+pub struct BrokenBarrierThreeLp1 {
+    t: DevTables,
+}
+
+impl BrokenBarrierThreeLp1 {
+    /// Build over the problem's device tables.
+    pub fn new(t: DevTables) -> Self {
+        Self { t }
+    }
+}
+
+impl Kernel for BrokenBarrierThreeLp1 {
+    fn name(&self) -> &str {
+        "defect/broken-barrier-3lp1"
+    }
+
+    // num_phases defaults to 1: the deleted barrier.
+
+    fn resources(&self, local_size: u32) -> KernelResources {
+        KernelResources {
+            registers_per_item: DEFECT_REGISTERS,
+            local_mem_bytes_per_group: local_size * 16,
+        }
+    }
+
+    fn local_size_multiple(&self) -> u32 {
+        (NROW * NDIM) as u32 // k-major site block, as in the real 3LP-1
+    }
+
+    fn run_phase(&self, _phase: usize, lane: &mut Lane<'_>) {
+        let t = &self.t;
+        let gid = lane.global_id();
+        lane.iops(3);
+        let cb = gid / 12;
+        let i = gid % 3;
+        let k = (gid / 3) % 4;
+        if cb >= t.half_volume {
+            return;
+        }
+        let lid = lane.local_id();
+        // The "partial" (its value is irrelevant to the race).
+        lane.st_local_c64(lid * 16, (gid % 7) as f64, 0.0);
+        // ... and, with no barrier in between, the collapse:
+        if k == 0 {
+            lane.set_path(1);
+            let (re0, im0) = lane.ld_local_c64(lid * 16);
+            let mut re = re0;
+            let mut im = im0;
+            for kk in 1..4u32 {
+                let (r, m) = lane.ld_local_c64((lid + 3 * kk) * 16);
+                re += r;
+                im += m;
+                lane.flops(2);
+            }
+            lane.st_global_c64(t.c_addr(cb, i), re, im);
+        } else {
+            lane.set_path(2);
+        }
+    }
+}
+
+/// 3LP-3 with the relaxed `atomic_ref` accumulation replaced by a plain
+/// load-add-store: the four `k`-items of one `(site, i)` pair
+/// read-modify-write the same `C(i, s)` element within one phase.
+pub struct PlainStoreThreeLp3 {
+    t: DevTables,
+}
+
+impl PlainStoreThreeLp3 {
+    /// Build over the problem's device tables.
+    pub fn new(t: DevTables) -> Self {
+        Self { t }
+    }
+}
+
+impl Kernel for PlainStoreThreeLp3 {
+    fn name(&self) -> &str {
+        "defect/plain-store-3lp3"
+    }
+
+    fn num_phases(&self) -> usize {
+        2 // initialize, barrier, accumulate — as in the real 3LP-3
+    }
+
+    fn resources(&self, _local_size: u32) -> KernelResources {
+        KernelResources {
+            registers_per_item: DEFECT_REGISTERS,
+            local_mem_bytes_per_group: 0,
+        }
+    }
+
+    fn local_size_multiple(&self) -> u32 {
+        (NROW * NDIM) as u32
+    }
+
+    fn run_phase(&self, phase: usize, lane: &mut Lane<'_>) {
+        let t = &self.t;
+        let gid = lane.global_id();
+        lane.iops(3);
+        let cb = gid / 12;
+        let i = gid % 3;
+        let k = (gid / 3) % 4;
+        if cb >= t.half_volume {
+            return;
+        }
+        if phase == 0 {
+            if k == 0 {
+                lane.set_path(1);
+                lane.st_global_c64(t.c_addr(cb, i), 0.0, 0.0);
+            } else {
+                lane.set_path(2);
+            }
+        } else {
+            // c[i][s] += term   — plain, where 3LP-3 uses atomic_ref.
+            let (re, im) = lane.ld_global_c64(t.c_addr(cb, i));
+            lane.flops(2);
+            lane.st_global_c64(t.c_addr(cb, i), re + 1.0, im + 1.0);
+        }
+    }
+}
+
+/// A gauge-style indexing bug: the per-item offset is scaled past the
+/// end of the arena's *last* allocation (the spill scratch), so the
+/// loads land outside every allocation.  Overshooting an interior
+/// buffer by a little would land in its 256-byte-aligned neighbour and
+/// go unnoticed; the fixture overshoots where nothing follows, which is
+/// what the allocation-table check reports.
+pub struct OobGaugeIndex {
+    t: DevTables,
+    /// One past the last allocation: `spill + slots * MAX_SPILLS * 16`.
+    oob_base: u64,
+}
+
+impl OobGaugeIndex {
+    /// Build over the problem's device tables.
+    pub fn new(t: DevTables) -> Self {
+        let oob_base = t.spill + t.spill_slots * MAX_SPILLS as u64 * 16;
+        Self { t, oob_base }
+    }
+}
+
+impl Kernel for OobGaugeIndex {
+    fn name(&self) -> &str {
+        "defect/oob-gauge-index"
+    }
+
+    fn resources(&self, _local_size: u32) -> KernelResources {
+        KernelResources {
+            registers_per_item: DEFECT_REGISTERS,
+            local_mem_bytes_per_group: 0,
+        }
+    }
+
+    fn run_phase(&self, _phase: usize, lane: &mut Lane<'_>) {
+        let gid = lane.global_id();
+        if gid >= self.t.half_volume {
+            return;
+        }
+        lane.iops(1);
+        // 8-byte aligned so the *only* defect is the bounds violation.
+        let _ = lane.ld_global_f64(self.oob_base + (gid % 8) * 8);
+    }
+}
+
+/// Accumulation into `C` without the host's `zero_output()`: every item
+/// reads its never-written `C(i, s)` element before adding to it.
+pub struct UninitCRead {
+    t: DevTables,
+}
+
+impl UninitCRead {
+    /// Build over the problem's device tables.
+    pub fn new(t: DevTables) -> Self {
+        Self { t }
+    }
+}
+
+impl Kernel for UninitCRead {
+    fn name(&self) -> &str {
+        "defect/uninit-c-read"
+    }
+
+    fn resources(&self, _local_size: u32) -> KernelResources {
+        KernelResources {
+            registers_per_item: DEFECT_REGISTERS,
+            local_mem_bytes_per_group: 0,
+        }
+    }
+
+    fn run_phase(&self, _phase: usize, lane: &mut Lane<'_>) {
+        let t = &self.t;
+        let gid = lane.global_id();
+        lane.iops(2);
+        let cb = gid / 3;
+        let i = gid % 3;
+        if cb >= t.half_volume {
+            return;
+        }
+        let (re, im) = lane.ld_global_c64(t.c_addr(cb, i));
+        lane.flops(2);
+        lane.st_global_c64(t.c_addr(cb, i), re + 1.0, im + 1.0);
+    }
+}

@@ -36,7 +36,10 @@ pub struct FourLpKernel<C> {
 impl<C: ComplexField> FourLpKernel<C> {
     /// Build the kernel for a configuration over device tables.
     pub fn new(cfg: KernelConfig, t: DevTables, num_groups: u64) -> Self {
-        debug_assert!(matches!(cfg.strategy, Strategy::FourLp1 | Strategy::FourLp2));
+        debug_assert!(matches!(
+            cfg.strategy,
+            Strategy::FourLp1 | Strategy::FourLp2
+        ));
         Self {
             cfg,
             t,
@@ -60,6 +63,10 @@ impl<C: ComplexField> Kernel for FourLpKernel<C> {
             registers_per_item: self.cfg.registers_per_item() + C::EXTRA_REGISTERS,
             local_mem_bytes_per_group: local_size * 16,
         }
+    }
+
+    fn local_size_multiple(&self) -> u32 {
+        self.cfg.strategy.local_size_multiple(self.cfg.order)
     }
 
     fn run_phase(&self, phase: usize, lane: &mut Lane<'_>) {

@@ -22,6 +22,7 @@
 //! accumulate); 4LP has three (its two barriers).
 
 pub mod common;
+pub mod defects;
 pub mod four_lp;
 pub mod one_lp;
 pub mod three_lp;
@@ -50,13 +51,9 @@ pub(crate) fn decomp3(gid: u64, order: IndexOrder) -> (u64, u64, u64) {
 pub(crate) fn decomp4(gid: u64, strategy: Strategy, order: IndexOrder) -> (u64, u64, u64, u64) {
     let s = gid / 48;
     match (strategy, order) {
-        (Strategy::FourLp1, IndexOrder::KMajor) => {
-            (s, gid % 3, (gid / 3) % 4, (gid / 12) % 4)
-        }
+        (Strategy::FourLp1, IndexOrder::KMajor) => (s, gid % 3, (gid / 3) % 4, (gid / 12) % 4),
         (Strategy::FourLp1, _) => (s, (gid / 4) % 3, gid % 4, (gid / 12) % 4),
-        (Strategy::FourLp2, IndexOrder::LMajor) => {
-            (s, gid % 3, (gid / 12) % 4, (gid / 3) % 4)
-        }
+        (Strategy::FourLp2, IndexOrder::LMajor) => (s, gid % 3, (gid / 12) % 4, (gid / 3) % 4),
         (Strategy::FourLp2, _) => (s, (gid / 4) % 3, (gid / 12) % 4, gid % 4),
         _ => unreachable!("decomp4 called for a non-4LP strategy"),
     }

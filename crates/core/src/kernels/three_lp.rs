@@ -88,6 +88,10 @@ impl<C: ComplexField> Kernel for ThreeLpKernel<C> {
         }
     }
 
+    fn local_size_multiple(&self) -> u32 {
+        self.cfg.strategy.local_size_multiple(self.cfg.order)
+    }
+
     fn run_phase(&self, phase: usize, lane: &mut Lane<'_>) {
         let t = &self.t;
         let composed = self.cfg.index_style == IndexStyle::Composed;

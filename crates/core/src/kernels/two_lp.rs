@@ -43,6 +43,10 @@ impl<C: ComplexField> Kernel for TwoLpKernel<C> {
         }
     }
 
+    fn local_size_multiple(&self) -> u32 {
+        self.cfg.strategy.local_size_multiple(self.cfg.order)
+    }
+
     fn run_phase(&self, _phase: usize, lane: &mut Lane<'_>) {
         let t = &self.t;
         let composed = self.cfg.index_style == IndexStyle::Composed;

@@ -32,8 +32,11 @@ pub mod strategy;
 pub mod validate;
 
 pub use flops::theoretical_flops;
+pub use kernels::defects::{BrokenBarrierThreeLp1, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead};
 pub use operator::{recommended_config, SimulatedDslash};
 pub use problem::DslashProblem;
-pub use runner::{run_config, run_config_timed, run_config_warm, RunOutcome, TimedRuns};
+pub use runner::{
+    run_config, run_config_sanitized, run_config_timed, run_config_warm, RunOutcome, TimedRuns,
+};
 pub use strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
 pub use validate::{compare_to_reference, MaxError};

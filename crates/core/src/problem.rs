@@ -1,8 +1,8 @@
 //! [`DslashProblem`]: owns one benchmark instance — lattice, fields,
 //! the device-memory packing, and the lazily-computed CPU reference.
 
-use crate::kernels::common::DevTables;
 use crate::kernels::build_kernel;
+use crate::kernels::common::DevTables;
 use crate::reference;
 use crate::strategy::KernelConfig;
 use gpu_sim::{Buffer, DeviceMemory, Kernel, NdRange};
@@ -274,7 +274,10 @@ impl<C: ComplexField> DslashProblem<C> {
 
     /// The launch geometry of a configuration at a local size.
     pub fn launch_range(&self, cfg: KernelConfig, local_size: u32) -> NdRange {
-        NdRange::linear(cfg.global_size(self.lattice.half_volume() as u64), local_size)
+        NdRange::linear(
+            cfg.global_size(self.lattice.half_volume() as u64),
+            local_size,
+        )
     }
 
     /// Build the kernel object for a configuration; `num_groups` must be

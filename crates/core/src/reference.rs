@@ -77,7 +77,10 @@ mod tests {
 
     fn setup(l: usize, seed: u64) -> (GaugeField<Z>, QuarkField<Z>) {
         let lat = Lattice::hypercubic(l);
-        (GaugeField::random(&lat, seed), QuarkField::random(&lat, seed + 1))
+        (
+            GaugeField::random(&lat, seed),
+            QuarkField::random(&lat, seed + 1),
+        )
     }
 
     #[test]

@@ -8,7 +8,9 @@ use crate::flops::theoretical_flops;
 use crate::problem::DslashProblem;
 use crate::strategy::KernelConfig;
 use crate::validate::{compare_to_reference, MaxError};
-use gpu_sim::{DeviceSpec, DeviceState, LaunchReport, Launcher, Queue, QueueMode, SimError};
+use gpu_sim::{
+    DeviceSpec, DeviceState, LaunchReport, Launcher, Queue, QueueMode, SanitizerConfig, SimError,
+};
 use milc_complex::ComplexField;
 
 /// Result of one configuration run.
@@ -90,6 +92,28 @@ pub fn run_config<C: ComplexField>(
     })
 }
 
+/// Run one `(config, local size)` under the simulator's sanitizer
+/// (DESIGN §7): the launch executes in the deterministic sequential
+/// mode with the requested checks; the returned report's `sanitizer`
+/// field holds the (possibly empty) findings.  Performance numbers from
+/// a sanitized launch are still produced but should not be compared to
+/// unsanitized ones in write-ups — the execution mode differs.
+pub fn run_config_sanitized<C: ComplexField>(
+    problem: &mut DslashProblem<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+    san: SanitizerConfig,
+) -> Result<LaunchReport, SimError> {
+    check_local_size(problem, cfg, local_size, device)?;
+    problem.zero_output();
+    let range = problem.launch_range(cfg, local_size);
+    let kernel = problem.make_kernel(cfg, range.num_groups());
+    Launcher::new(device)
+        .with_sanitizer(san)
+        .launch(kernel.as_ref(), range, problem.memory())
+}
+
 /// Run one configuration with *warm* caches: one untimed warmup launch
 /// fills the device caches, then the timed launch is profiled — exactly
 /// how the paper measures ("each run comprises 100 kernel iterations and
@@ -117,8 +141,7 @@ pub fn run_config_warm<C: ComplexField>(
     problem.zero_output();
     let mut queue = Queue::new(Launcher::new(device), queue_mode);
     let (report, overhead) = {
-        let sub =
-            queue.submit_with_state(kernel.as_ref(), range, problem.memory(), &mut state)?;
+        let sub = queue.submit_with_state(kernel.as_ref(), range, problem.memory(), &mut state)?;
         (sub.report.clone(), sub.overhead_us)
     };
 
@@ -232,8 +255,7 @@ mod tests {
         let mut p = DslashProblem::<Z>::random(4, 9);
         let device = DeviceSpec::test_small();
         let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
-        let timed =
-            run_config_timed(&mut p, cfg, 96, &device, QueueMode::InOrder, 100, 1).unwrap();
+        let timed = run_config_timed(&mut p, cfg, 96, &device, QueueMode::InOrder, 100, 1).unwrap();
         // Deterministic simulator: the mean equals one iteration.
         let single = timed.outcome.report.duration_us + timed.outcome.queue_overhead_us;
         assert!((timed.mean_iteration_us - single).abs() < 1e-9);

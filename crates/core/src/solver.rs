@@ -94,7 +94,13 @@ impl<'a, C: ComplexField> NormalOperator<'a, C> {
             *self.full.site_mut(s) = *v;
         }
         // even = D_eo odd.
-        dslash_par_into(self.gauge, &self.full, &self.nt, Parity::Even, &mut self.even);
+        dslash_par_into(
+            self.gauge,
+            &self.full,
+            &self.nt,
+            Parity::Even,
+            &mut self.even,
+        );
 
         let m2 = self.mass * self.mass;
         for cb in 0..lattice.half_volume() {
@@ -202,7 +208,10 @@ mod tests {
         // <y, Ax> == <Ay, x> (Hermitian).
         let lhs: f64 = y.iter().zip(&ax).map(|(a, b)| a.dot(b).re()).sum();
         let rhs: f64 = ay.iter().zip(&x).map(|(a, b)| a.dot(b).re()).sum();
-        assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
         // <x, Ax> > 0 (positive definite).
         let xax: f64 = x.iter().zip(&ax).map(|(a, b)| a.dot(b).re()).sum();
         assert!(xax > 0.0);

@@ -63,9 +63,7 @@ impl Strategy {
         match self {
             Strategy::OneLp => 1,
             Strategy::TwoLp => NROW as u64,
-            Strategy::ThreeLp1 | Strategy::ThreeLp2 | Strategy::ThreeLp3 => {
-                (NROW * NDIM) as u64
-            }
+            Strategy::ThreeLp1 | Strategy::ThreeLp2 | Strategy::ThreeLp3 => (NROW * NDIM) as u64,
             Strategy::FourLp1 | Strategy::FourLp2 => (NROW * NDIM * NMAT) as u64,
         }
     }
@@ -217,7 +215,8 @@ impl KernelConfig {
         if !local_size.is_multiple_of(self.strategy.local_size_multiple(self.order)) {
             return false;
         }
-        self.global_size(half_volume).is_multiple_of(local_size as u64)
+        self.global_size(half_volume)
+            .is_multiple_of(local_size as u64)
     }
 
     /// The legal local sizes that are also multiples of the warp size,
@@ -273,10 +272,22 @@ mod tests {
     fn global_sizes_match_table1_row2() {
         // L = 32: 0.5M, 1.6M, 6.3M, 25.2M work-items.
         let hv = 524_288u64;
-        assert_eq!(KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor).global_size(hv), 524_288);
-        assert_eq!(KernelConfig::new(Strategy::TwoLp, IndexOrder::KMajor).global_size(hv), 1_572_864);
-        assert_eq!(KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor).global_size(hv), 6_291_456);
-        assert_eq!(KernelConfig::new(Strategy::FourLp2, IndexOrder::LMajor).global_size(hv), 25_165_824);
+        assert_eq!(
+            KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor).global_size(hv),
+            524_288
+        );
+        assert_eq!(
+            KernelConfig::new(Strategy::TwoLp, IndexOrder::KMajor).global_size(hv),
+            1_572_864
+        );
+        assert_eq!(
+            KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor).global_size(hv),
+            6_291_456
+        );
+        assert_eq!(
+            KernelConfig::new(Strategy::FourLp2, IndexOrder::LMajor).global_size(hv),
+            25_165_824
+        );
     }
 
     #[test]
@@ -336,7 +347,10 @@ mod tests {
 
     #[test]
     fn labels() {
-        assert_eq!(KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor).label(), "1LP");
+        assert_eq!(
+            KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor).label(),
+            "1LP"
+        );
         assert_eq!(
             KernelConfig::new(Strategy::ThreeLp2, IndexOrder::IMajor).label(),
             "3LP-2 i-major"

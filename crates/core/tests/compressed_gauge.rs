@@ -31,7 +31,11 @@ fn all_strategies_support_compression() {
     for strategy in Strategy::ALL {
         let order = strategy.orders()[0];
         let cfg = KernelConfig::new(strategy, order);
-        let ls = if matches!(strategy, Strategy::OneLp | Strategy::TwoLp) { 32 } else { 96 };
+        let ls = if matches!(strategy, Strategy::OneLp | Strategy::TwoLp) {
+            32
+        } else {
+            96
+        };
         let out = run_config(&mut p, cfg, ls, &device, QueueMode::OutOfOrder).unwrap();
         assert!(
             out.error.rel < p.validation_tolerance(),

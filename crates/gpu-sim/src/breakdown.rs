@@ -33,12 +33,30 @@ impl TimeBreakdown {
     pub fn new(model: &TimingModel, c: &Counters) -> Self {
         let w = &model.weights;
         let items = [
-            ("L1 tag requests (coalescing)", w.l1_tag * c.l1_tag_requests_global as f64),
-            ("L1 sector traffic", w.l1_sector * c.l1_sector_requests as f64),
-            ("L2 sector traffic", w.l2_sector * c.l2_sector_requests as f64),
-            ("DRAM sector traffic", w.dram_sector * c.l2_sector_misses as f64),
-            ("shared-memory wavefronts", w.shared_wavefront * c.shared_wavefronts as f64),
-            ("atomic serialization", w.atomic_pass * c.atomic_passes as f64),
+            (
+                "L1 tag requests (coalescing)",
+                w.l1_tag * c.l1_tag_requests_global as f64,
+            ),
+            (
+                "L1 sector traffic",
+                w.l1_sector * c.l1_sector_requests as f64,
+            ),
+            (
+                "L2 sector traffic",
+                w.l2_sector * c.l2_sector_requests as f64,
+            ),
+            (
+                "DRAM sector traffic",
+                w.dram_sector * c.l2_sector_misses as f64,
+            ),
+            (
+                "shared-memory wavefronts",
+                w.shared_wavefront * c.shared_wavefronts as f64,
+            ),
+            (
+                "atomic serialization",
+                w.atomic_pass * c.atomic_passes as f64,
+            ),
             ("instruction issue", w.issue * c.warp_instructions as f64),
             ("barrier waits", w.barrier * c.barrier_waits as f64),
         ];
@@ -48,7 +66,11 @@ impl TimeBreakdown {
             .map(|&(class, work)| Share {
                 class,
                 work,
-                pct: if total > 0.0 { 100.0 * work / total } else { 0.0 },
+                pct: if total > 0.0 {
+                    100.0 * work / total
+                } else {
+                    0.0
+                },
             })
             .collect();
         shares.sort_by(|a, b| b.work.partial_cmp(&a.work).expect("finite work"));
@@ -120,7 +142,9 @@ mod tests {
         let mem_pct: f64 = b
             .shares
             .iter()
-            .filter(|s| s.class.contains("L1") || s.class.contains("L2") || s.class.contains("DRAM"))
+            .filter(|s| {
+                s.class.contains("L1") || s.class.contains("L2") || s.class.contains("DRAM")
+            })
             .map(|s| s.pct)
             .sum();
         assert!(mem_pct > 50.0, "memory share only {mem_pct:.1}%");

@@ -112,7 +112,12 @@ impl Cache {
             cfg,
             sets,
             lines: vec![
-                LineState { tag: INVALID, sectors: 0, dirty: 0, stamp: 0 };
+                LineState {
+                    tag: INVALID,
+                    sectors: 0,
+                    dirty: 0,
+                    stamp: 0
+                };
                 (sets * cfg.ways as u64) as usize
             ],
             clock: 0,
@@ -133,7 +138,12 @@ impl Cache {
     /// Clear contents and statistics.
     pub fn reset(&mut self) {
         for l in &mut self.lines {
-            *l = LineState { tag: INVALID, sectors: 0, dirty: 0, stamp: 0 };
+            *l = LineState {
+                tag: INVALID,
+                sectors: 0,
+                dirty: 0,
+                stamp: 0,
+            };
         }
         self.clock = 0;
         self.stats = CacheStats::default();

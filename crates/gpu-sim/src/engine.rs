@@ -26,6 +26,7 @@ use crate::kernel::{Kernel, KernelResources, Lane};
 use crate::memory::DeviceMemory;
 use crate::ndrange::NdRange;
 use crate::occupancy::{occupancy, Occupancy};
+use crate::sanitizer::{Sanitizer, SanitizerConfig, SanitizerReport};
 use crate::sharedmem::LocalMem;
 use crate::timing::TimingModel;
 use crate::warp::{replay_warp, ReplaySinks};
@@ -61,7 +62,9 @@ impl DeviceState {
             ways: device.l2_ways,
         };
         Self {
-            l1s: (0..device.num_sms as usize).map(|_| Cache::new(l1_cfg)).collect(),
+            l1s: (0..device.num_sms as usize)
+                .map(|_| Cache::new(l1_cfg))
+                .collect(),
             l2: Cache::new(l2_cfg),
             launches: 0,
         }
@@ -101,6 +104,9 @@ pub struct LaunchReport {
     pub l2_stats: CacheStats,
     /// Modelled kernel duration in microseconds.
     pub duration_us: f64,
+    /// Sanitizer findings, when the launcher was configured with
+    /// [`Launcher::with_sanitizer`]; `None` for unsanitized launches.
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 impl LaunchReport {
@@ -119,6 +125,7 @@ pub struct Launcher<'d> {
     device: &'d DeviceSpec,
     mode: ExecMode,
     timing: TimingModel,
+    sanitizer: Option<SanitizerConfig>,
 }
 
 impl<'d> Launcher<'d> {
@@ -128,12 +135,24 @@ impl<'d> Launcher<'d> {
             device,
             mode: ExecMode::Sequential,
             timing: TimingModel::calibrated(),
+            sanitizer: None,
         }
     }
 
     /// Select the execution mode.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Enable the sanitizer for every launch through this launcher.
+    /// Sanitized launches always execute in the deterministic
+    /// [`ExecMode::Sequential`] mode (the shadow-memory checkers need a
+    /// serial view of the event streams), and their lanes run tolerant:
+    /// invalid accesses become findings instead of panics.  Performance
+    /// counters and timing are still produced as usual.
+    pub fn with_sanitizer(mut self, cfg: SanitizerConfig) -> Self {
+        self.sanitizer = Some(cfg);
         self
     }
 
@@ -173,6 +192,27 @@ impl<'d> Launcher<'d> {
         let res = kernel.resources(range.local);
         let occ = occupancy(self.device, range.local, &res, range.num_groups())?;
 
+        // Shadow state snapshots the allocation table and init bitmap
+        // now, before any kernel event; the linter runs up front.
+        let mut san = self.sanitizer.as_ref().map(|cfg| {
+            let mut s =
+                Sanitizer::new(cfg.clone(), mem, res.local_mem_bytes_per_group, range.local);
+            s.lint(
+                self.device,
+                &range,
+                &res,
+                kernel.num_phases(),
+                kernel.local_size_multiple(),
+            );
+            s
+        });
+        // The shadow-memory checkers need the deterministic serial view.
+        let mode = if san.is_some() {
+            ExecMode::Sequential
+        } else {
+            self.mode
+        };
+
         let num_sms = self.device.num_sms as usize;
         let l1_cfg = CacheConfig {
             capacity: self.device.l1_bytes as u64,
@@ -187,21 +227,26 @@ impl<'d> Launcher<'d> {
             ways: self.device.l2_ways,
         };
 
-        let (counters, l1_stats, l2_stats) = match self.mode {
+        let (counters, l1_stats, l2_stats) = match mode {
             ExecMode::Sequential => {
                 assert_eq!(
                     state.l1s.len(),
                     num_sms,
                     "device state was built for a different device"
                 );
-                let l1_before: Vec<CacheStats> =
-                    state.l1s.iter().map(|c| *c.stats()).collect();
+                let l1_before: Vec<CacheStats> = state.l1s.iter().map(|c| *c.stats()).collect();
                 let l2_before = *state.l2.stats();
                 let mut counters = Counters::default();
                 let mut exec = GroupExecutor::new(kernel, range, self.device, mem, res);
                 for g in 0..range.num_groups() {
                     let sm = (g % num_sms as u64) as usize;
-                    exec.run_group(g, &mut state.l1s[sm], &mut state.l2, &mut counters);
+                    exec.run_group(
+                        g,
+                        &mut state.l1s[sm],
+                        &mut state.l2,
+                        &mut counters,
+                        san.as_mut(),
+                    )?;
                 }
                 state.launches += 1;
                 // Report this launch's cache deltas, not the lifetime sums.
@@ -217,7 +262,8 @@ impl<'d> Launcher<'d> {
                         .max((l2_cfg.line_bytes * l2_cfg.ways) as u64),
                     ..l2_cfg
                 };
-                let partials: Vec<(Counters, CacheStats, CacheStats)> = (0..num_sms)
+                let partials: Vec<Result<(Counters, CacheStats, CacheStats), SimError>> = (0
+                    ..num_sms)
                     .into_par_iter()
                     .map(|sm| {
                         let mut l1 = Cache::new(l1_cfg);
@@ -226,12 +272,14 @@ impl<'d> Launcher<'d> {
                         let mut exec = GroupExecutor::new(kernel, range, self.device, mem, res);
                         let mut g = sm as u64;
                         while g < range.num_groups() {
-                            exec.run_group(g, &mut l1, &mut l2, &mut counters);
+                            exec.run_group(g, &mut l1, &mut l2, &mut counters, None)?;
                             g += num_sms as u64;
                         }
-                        (counters, *l1.stats(), *l2.stats())
+                        Ok((counters, *l1.stats(), *l2.stats()))
                     })
                     .collect();
+                let partials: Vec<(Counters, CacheStats, CacheStats)> =
+                    partials.into_iter().collect::<Result<_, _>>()?;
                 let mut counters = Counters::default();
                 let mut l1_stats = CacheStats::default();
                 let mut l2_stats = CacheStats::default();
@@ -254,6 +302,7 @@ impl<'d> Launcher<'d> {
             l1_stats,
             l2_stats,
             duration_us,
+            sanitizer: san.map(Sanitizer::into_report),
         })
     }
 }
@@ -305,7 +354,14 @@ impl<'a> GroupExecutor<'a> {
         }
     }
 
-    fn run_group(&mut self, group: u64, l1: &mut Cache, l2: &mut Cache, counters: &mut Counters) {
+    fn run_group(
+        &mut self,
+        group: u64,
+        l1: &mut Cache,
+        l2: &mut Cache,
+        counters: &mut Counters,
+        mut sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<(), SimError> {
         let local_size = self.range.local;
         let warp = self.device.warp_size;
         let warps = local_size.div_ceil(warp);
@@ -317,6 +373,9 @@ impl<'a> GroupExecutor<'a> {
         counters.items += local_size as u64;
         counters.warps += warps as u64;
         counters.barrier_waits += warps as u64 * (self.phases as u64 - 1);
+        if let Some(s) = sanitizer.as_deref_mut() {
+            s.begin_group();
+        }
 
         for phase in 0..self.phases {
             for w in 0..warps {
@@ -336,7 +395,16 @@ impl<'a> GroupExecutor<'a> {
                         &mut self.local,
                         &mut self.streams[lane as usize],
                     );
+                    if sanitizer.is_some() {
+                        ctx.set_tolerant();
+                    }
                     self.kernel.run_phase(phase, &mut ctx);
+                }
+                if let Some(s) = sanitizer.as_deref_mut() {
+                    // Inspect the streams before replay: if replay aborts
+                    // on a divergence mismatch, the accesses up to that
+                    // warp were still checked.
+                    s.process_warp(group, phase as u32, w * warp, &self.streams);
                 }
                 let mut sinks = ReplaySinks {
                     l1,
@@ -347,9 +415,10 @@ impl<'a> GroupExecutor<'a> {
                     banks: self.device.shared_banks,
                     bank_width: self.device.bank_width,
                 };
-                replay_warp(&self.streams, &mut sinks);
+                replay_warp(&self.streams, &mut sinks)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -425,7 +494,10 @@ mod tests {
         for i in 0..256u64 {
             mem.write_f64(buf.addr(i * 8), i as f64);
         }
-        let k = DoubleKernel { buf: buf.base(), n: 256 };
+        let k = DoubleKernel {
+            buf: buf.base(),
+            n: 256,
+        };
         let report = Launcher::new(&device)
             .launch(&k, NdRange::linear(256, 64), &mem)
             .unwrap();
@@ -467,8 +539,14 @@ mod tests {
             mem1.write_f64(b1.addr(i * 8), i as f64);
             mem2.write_f64(b2.addr(i * 8), i as f64);
         }
-        let k1 = DoubleKernel { buf: b1.base(), n: 1024 };
-        let k2 = DoubleKernel { buf: b2.base(), n: 1024 };
+        let k1 = DoubleKernel {
+            buf: b1.base(),
+            n: 1024,
+        };
+        let k2 = DoubleKernel {
+            buf: b2.base(),
+            n: 1024,
+        };
         let seq = Launcher::new(&device)
             .launch(&k1, NdRange::linear(1024, 128), &mem1)
             .unwrap();
@@ -486,7 +564,10 @@ mod tests {
             seq.counters.l1_tag_requests_global,
             par.counters.l1_tag_requests_global
         );
-        assert_eq!(seq.counters.l1_sector_requests, par.counters.l1_sector_requests);
+        assert_eq!(
+            seq.counters.l1_sector_requests,
+            par.counters.l1_sector_requests
+        );
     }
 
     #[test]
@@ -498,7 +579,10 @@ mod tests {
             for i in 0..512u64 {
                 mem.write_f64(b.addr(i * 8), 1.0);
             }
-            let k = DoubleKernel { buf: b.base(), n: 512 };
+            let k = DoubleKernel {
+                buf: b.base(),
+                n: 512,
+            };
             Launcher::new(&device)
                 .launch(&k, NdRange::linear(512, 64), &mem)
                 .unwrap()
@@ -516,6 +600,69 @@ mod tests {
         let k = DoubleKernel { buf: 0x1000, n: 0 };
         let err = Launcher::new(&device).launch(&k, NdRange::linear(100, 64), &mem);
         assert!(matches!(err, Err(SimError::IndivisibleGlobalSize { .. })));
+    }
+
+    /// RotateKernel without its barrier: store and cross-lane read in
+    /// one phase — the canonical local-memory race.
+    struct PhaselessRotate {
+        out: u64,
+    }
+
+    impl Kernel for PhaselessRotate {
+        fn name(&self) -> &str {
+            "rotate-no-barrier"
+        }
+        fn resources(&self, ls: u32) -> KernelResources {
+            KernelResources {
+                registers_per_item: 16,
+                local_mem_bytes_per_group: ls * 8,
+            }
+        }
+        fn run_phase(&self, _phase: usize, lane: &mut Lane<'_>) {
+            let lid = lane.local_id();
+            let ls = lane.local_size();
+            lane.st_local_f64(lid * 8, lane.global_id() as f64);
+            let v = lane.ld_local_f64((lid + 1) % ls * 8);
+            lane.st_global_f64(self.out + lane.global_id() * 8, v);
+        }
+    }
+
+    #[test]
+    fn sanitized_clean_kernel_reports_clean() {
+        let device = DeviceSpec::test_small();
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(128 * 8, "out");
+        let k = RotateKernel { out: out.base() };
+        let r = Launcher::new(&device)
+            .with_sanitizer(crate::sanitizer::SanitizerConfig::default())
+            .launch(&k, NdRange::linear(128, 32), &mem)
+            .unwrap();
+        let san = r.sanitizer.expect("sanitized launch carries a report");
+        assert!(san.is_clean(), "{:?}", san.findings);
+        assert!(san.checked_accesses > 0);
+        // Unsanitized launches carry no report.
+        let r2 = Launcher::new(&device)
+            .launch(&k, NdRange::linear(128, 32), &mem)
+            .unwrap();
+        assert!(r2.sanitizer.is_none());
+        // The sanitizer is an observer: counters are unchanged by it.
+        assert_eq!(r.counters, r2.counters);
+    }
+
+    #[test]
+    fn sanitizer_flags_missing_barrier() {
+        let device = DeviceSpec::test_small();
+        let mut mem = DeviceMemory::new();
+        let out = mem.alloc(128 * 8, "out");
+        let k = PhaselessRotate { out: out.base() };
+        let r = Launcher::new(&device)
+            .with_sanitizer(crate::sanitizer::SanitizerConfig::default())
+            .launch(&k, NdRange::linear(128, 32), &mem)
+            .unwrap();
+        let san = r.sanitizer.unwrap();
+        assert!(san.count_class("race") >= 1, "{:?}", san.findings);
+        // The linter independently notices local memory with no barrier.
+        assert!(san.count_class("lint") >= 1, "{:?}", san.findings);
     }
 
     #[test]

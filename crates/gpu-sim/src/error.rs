@@ -41,6 +41,22 @@ pub enum SimError {
         /// Offending device address.
         addr: u64,
     },
+    /// Lanes of one warp fell out of lockstep during replay: two lanes
+    /// on the *same* control-flow path produced different event kinds at
+    /// the same step.  This means the kernel branched divergently
+    /// without declaring a path via `Lane::set_path`, so the warp-level
+    /// performance model (coalescing, bank conflicts, divergence
+    /// counting) would silently mis-attribute its transactions.
+    /// Previously a debug-only assertion; now surfaced in release
+    /// builds too.
+    LaneDivergenceMismatch {
+        /// Lane whose event disagreed with the path group's leader.
+        lane: u32,
+        /// Event kind the path group's leader issued at this step.
+        expected: &'static str,
+        /// Event kind the offending lane issued instead.
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -53,17 +69,32 @@ impl fmt::Display for SimError {
             SimError::InvalidLocalSize { local, max } => {
                 write!(f, "local size {local} invalid (must be 1..={max})")
             }
-            SimError::LocalMemTooLarge { requested, available } => write!(
+            SimError::LocalMemTooLarge {
+                requested,
+                available,
+            } => write!(
                 f,
                 "work-group local memory {requested} B exceeds the {available} B available per SM"
             ),
-            SimError::RegistersExhausted { requested, available } => write!(
+            SimError::RegistersExhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "work-group needs {requested} registers but the SM has {available}"
             ),
             SimError::OutOfBoundsAccess { addr } => {
                 write!(f, "device access at {addr:#x} is outside every allocation")
             }
+            SimError::LaneDivergenceMismatch {
+                lane,
+                expected,
+                found,
+            } => write!(
+                f,
+                "lane {lane} out of lockstep: expected {expected}, found {found} \
+                 (undeclared divergent branch — missing Lane::set_path)"
+            ),
         }
     }
 }

@@ -75,8 +75,25 @@ impl Event {
         )
     }
 
-    /// A small integer identifying the event *kind*, used by the debug
-    /// lockstep assertion in the replayer.
+    /// Human-readable event kind, used by the replayer's lockstep
+    /// diagnostics ([`SimError::LaneDivergenceMismatch`]
+    /// (crate::SimError::LaneDivergenceMismatch)).
+    #[inline]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::GlobalLoad { .. } => "global load",
+            Event::GlobalStore { .. } => "global store",
+            Event::AtomicRmw { .. } => "atomic rmw",
+            Event::LocalLoad { .. } => "local load",
+            Event::LocalStore { .. } => "local store",
+            Event::Flops(_) => "flops",
+            Event::Iops(_) => "iops",
+            Event::SetPath(_) => "set-path",
+        }
+    }
+
+    /// A small integer identifying the event *kind*, used by the
+    /// lockstep check in the replayer.
     #[inline]
     pub fn kind_id(&self) -> u8 {
         match self {
@@ -99,7 +116,11 @@ mod tests {
     #[test]
     fn memory_classification() {
         assert!(Event::GlobalLoad { addr: 0, bytes: 8 }.is_memory());
-        assert!(Event::LocalStore { offset: 0, bytes: 8 }.is_memory());
+        assert!(Event::LocalStore {
+            offset: 0,
+            bytes: 8
+        }
+        .is_memory());
         assert!(Event::AtomicRmw { addr: 0, bytes: 8 }.is_memory());
         assert!(!Event::Flops(3).is_memory());
         assert!(!Event::SetPath(1).is_memory());
@@ -111,8 +132,14 @@ mod tests {
             Event::GlobalLoad { addr: 0, bytes: 8 },
             Event::GlobalStore { addr: 0, bytes: 8 },
             Event::AtomicRmw { addr: 0, bytes: 8 },
-            Event::LocalLoad { offset: 0, bytes: 8 },
-            Event::LocalStore { offset: 0, bytes: 8 },
+            Event::LocalLoad {
+                offset: 0,
+                bytes: 8,
+            },
+            Event::LocalStore {
+                offset: 0,
+                bytes: 8,
+            },
             Event::Flops(1),
             Event::Iops(1),
             Event::SetPath(0),

@@ -46,6 +46,16 @@ pub trait Kernel: Sync {
     /// Resource demand at the given local size.
     fn resources(&self, local_size: u32) -> KernelResources;
 
+    /// The work-group size granularity this kernel's indexing assumes:
+    /// local sizes that are not a multiple of this value leave some
+    /// work-groups spanning a site block, which the paper's strategies
+    /// forbid (DESIGN §4's divisibility rule).  `1` means any local
+    /// size that divides the global size is fine.  Consumed by the
+    /// launch-config linter.
+    fn local_size_multiple(&self) -> u32 {
+        1
+    }
+
     /// Execute one work-item's portion of one phase.
     fn run_phase(&self, phase: usize, lane: &mut Lane<'_>);
 }
@@ -60,6 +70,10 @@ pub struct Lane<'a> {
     mem: &'a DeviceMemory,
     local: &'a mut LocalMem,
     events: &'a mut Vec<Event>,
+    /// Tolerant mode (sanitized launches): invalid accesses are still
+    /// *recorded* — so memcheck can report them — but the backing memory
+    /// operation is skipped (loads return 0.0) instead of panicking.
+    tolerant: bool,
 }
 
 impl<'a> Lane<'a> {
@@ -82,7 +96,29 @@ impl<'a> Lane<'a> {
             mem,
             local,
             events,
+            tolerant: false,
         }
+    }
+
+    /// Switch this lane to tolerant mode (used by sanitized launches so
+    /// that deliberately-broken kernels can run to completion and have
+    /// their invalid accesses reported rather than panicking the host).
+    #[inline]
+    pub fn set_tolerant(&mut self) {
+        self.tolerant = true;
+    }
+
+    /// Whether a global access may actually touch the arena: always in
+    /// normal mode; in tolerant mode only when aligned and in bounds.
+    #[inline]
+    fn global_ok(&self, addr: u64, align: u64, bytes: u64) -> bool {
+        !self.tolerant || (addr.is_multiple_of(align) && self.mem.check(addr, bytes).is_ok())
+    }
+
+    /// Same gate for work-group local memory.
+    #[inline]
+    fn local_ok(&self, off: u32, bytes: u32) -> bool {
+        !self.tolerant || (off as usize + bytes as usize <= self.local.len())
     }
 
     /// `item.get_global_id(0)`.
@@ -115,6 +151,9 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn ld_global_f64(&mut self, addr: u64) -> f64 {
         self.events.push(Event::GlobalLoad { addr, bytes: 8 });
+        if !self.global_ok(addr, 8, 8) {
+            return 0.0;
+        }
         self.mem.read_f64(addr)
     }
 
@@ -122,13 +161,18 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn st_global_f64(&mut self, addr: u64, v: f64) {
         self.events.push(Event::GlobalStore { addr, bytes: 8 });
-        self.mem.write_f64(addr, v);
+        if self.global_ok(addr, 8, 8) {
+            self.mem.write_f64(addr, v);
+        }
     }
 
     /// 4-byte global load (neighbor tables).
     #[inline]
     pub fn ld_global_u32(&mut self, addr: u64) -> u32 {
         self.events.push(Event::GlobalLoad { addr, bytes: 4 });
+        if !self.global_ok(addr, 4, 4) {
+            return 0;
+        }
         self.mem.read_u32(addr)
     }
 
@@ -157,6 +201,9 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn ld_global_c64_vec(&mut self, addr: u64) -> (f64, f64) {
         self.events.push(Event::GlobalLoad { addr, bytes: 16 });
+        if !self.global_ok(addr, 8, 16) {
+            return (0.0, 0.0);
+        }
         (self.mem.read_f64(addr), self.mem.read_f64(addr + 8))
     }
 
@@ -164,8 +211,10 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn st_global_c64_vec(&mut self, addr: u64, re: f64, im: f64) {
         self.events.push(Event::GlobalStore { addr, bytes: 16 });
-        self.mem.write_f64(addr, re);
-        self.mem.write_f64(addr + 8, im);
+        if self.global_ok(addr, 8, 16) {
+            self.mem.write_f64(addr, re);
+            self.mem.write_f64(addr + 8, im);
+        }
     }
 
     /// Relaxed global atomic f64 add (the 3LP-2/3LP-3 `atomic_ref` op).
@@ -173,6 +222,9 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn atomic_add_global_f64(&mut self, addr: u64, v: f64) -> f64 {
         self.events.push(Event::AtomicRmw { addr, bytes: 8 });
+        if !self.global_ok(addr, 8, 8) {
+            return 0.0;
+        }
         self.mem.atomic_add_f64(addr, v)
     }
 
@@ -181,31 +233,53 @@ impl<'a> Lane<'a> {
     /// 8-byte local-memory load at byte offset `off`.
     #[inline]
     pub fn ld_local_f64(&mut self, off: u32) -> f64 {
-        self.events.push(Event::LocalLoad { offset: off, bytes: 8 });
+        self.events.push(Event::LocalLoad {
+            offset: off,
+            bytes: 8,
+        });
+        if !self.local_ok(off, 8) {
+            return 0.0;
+        }
         self.local.read_f64(off)
     }
 
     /// 8-byte local-memory store.
     #[inline]
     pub fn st_local_f64(&mut self, off: u32, v: f64) {
-        self.events.push(Event::LocalStore { offset: off, bytes: 8 });
-        self.local.write_f64(off, v);
+        self.events.push(Event::LocalStore {
+            offset: off,
+            bytes: 8,
+        });
+        if self.local_ok(off, 8) {
+            self.local.write_f64(off, v);
+        }
     }
 
     /// Load a complex from local memory (one 16-byte access: the
     /// `double_complex` struct loads as a vectorized pair).
     #[inline]
     pub fn ld_local_c64(&mut self, off: u32) -> (f64, f64) {
-        self.events.push(Event::LocalLoad { offset: off, bytes: 16 });
+        self.events.push(Event::LocalLoad {
+            offset: off,
+            bytes: 16,
+        });
+        if !self.local_ok(off, 16) {
+            return (0.0, 0.0);
+        }
         (self.local.read_f64(off), self.local.read_f64(off + 8))
     }
 
     /// Store a complex to local memory (one 16-byte access).
     #[inline]
     pub fn st_local_c64(&mut self, off: u32, re: f64, im: f64) {
-        self.events.push(Event::LocalStore { offset: off, bytes: 16 });
-        self.local.write_f64(off, re);
-        self.local.write_f64(off + 8, im);
+        self.events.push(Event::LocalStore {
+            offset: off,
+            bytes: 16,
+        });
+        if self.local_ok(off, 16) {
+            self.local.write_f64(off, re);
+            self.local.write_f64(off + 8, im);
+        }
     }
 
     // ---- instruction accounting ---------------------------------------
@@ -261,8 +335,37 @@ mod tests {
         assert_eq!(mem.read_f64(buf.addr(8)), 8.0);
         assert_eq!(mem.read_f64(buf.addr(0)), 5.0);
         assert_eq!(events.len(), 7);
-        assert_eq!(events[0], Event::GlobalLoad { addr: buf.addr(0), bytes: 8 });
+        assert_eq!(
+            events[0],
+            Event::GlobalLoad {
+                addr: buf.addr(0),
+                bytes: 8
+            }
+        );
         assert!(matches!(events[5], Event::SetPath(3)));
+    }
+
+    #[test]
+    fn tolerant_lane_skips_invalid_accesses_but_records_them() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(64, "t");
+        mem.write_f64(buf.addr(0), 4.0);
+        let mut local = LocalMem::new(16);
+        let mut events = Vec::new();
+        let mut lane = Lane::new(0, 0, 0, 1, &mem, &mut local, &mut events);
+        lane.set_tolerant();
+        // Far out-of-bounds and misaligned loads return 0.0 instead of
+        // panicking; the matching stores are dropped.
+        assert_eq!(lane.ld_global_f64(1 << 40), 0.0);
+        assert_eq!(lane.ld_global_f64(buf.addr(0) + 3), 0.0);
+        lane.st_global_f64(1 << 40, 9.0);
+        // Local accesses past the declared allocation are dropped too.
+        lane.st_local_f64(64, 1.0);
+        assert_eq!(lane.ld_local_f64(64), 0.0);
+        // Valid accesses still execute normally.
+        assert_eq!(lane.ld_global_f64(buf.addr(0)), 4.0);
+        // Every access was recorded regardless, for the sanitizer.
+        assert_eq!(events.len(), 6);
     }
 
     #[test]
@@ -289,6 +392,12 @@ mod tests {
         assert_eq!(lane.ld_local_c64(16), (1.0, 2.0));
         let _ = &mut mem;
         assert_eq!(events.len(), 2);
-        assert_eq!(events[0], Event::LocalStore { offset: 16, bytes: 16 });
+        assert_eq!(
+            events[0],
+            Event::LocalStore {
+                offset: 16,
+                bytes: 16
+            }
+        );
     }
 }

@@ -88,6 +88,7 @@ pub mod ndrange;
 pub mod occupancy;
 pub mod profile;
 pub mod queue;
+pub mod sanitizer;
 pub mod sharedmem;
 pub mod timing;
 pub mod warp;
@@ -104,4 +105,7 @@ pub use ndrange::NdRange;
 pub use occupancy::{Occupancy, OccupancyLimiter};
 pub use profile::ProfileReport;
 pub use queue::{Queue, QueueMode};
+pub use sanitizer::{
+    lint_launch, Finding, FindingKind, LintKind, SanitizerConfig, SanitizerReport,
+};
 pub use timing::TimingModel;

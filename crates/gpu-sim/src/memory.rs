@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Base device address of the first allocation.  Non-zero so stray null
 /// pointers fault instead of silently reading allocation zero.
-const BASE_ADDR: u64 = 0x1000;
+pub const BASE_ADDR: u64 = 0x1000;
 
 /// Allocation alignment (matches CUDA's 256-byte `cudaMalloc` guarantee,
 /// which the paper's coalescing analysis implicitly relies on: buffers
@@ -78,6 +78,12 @@ pub struct DeviceMemory {
     next: u64,
     /// Allocation log: (base, len, label).
     allocs: Vec<(u64, u64, String)>,
+    /// Initialization bitmap: one bit per 4-byte granule of the arena,
+    /// set by every host or device write.  The sanitizer's memcheck
+    /// snapshots this at launch start to seed its uninitialized-read
+    /// tracking (device `malloc` returns uninitialized storage on real
+    /// hardware even though this arena is zero-backed).
+    init: Vec<AtomicU64>,
 }
 
 impl DeviceMemory {
@@ -87,6 +93,7 @@ impl DeviceMemory {
             words: Vec::new(),
             next: BASE_ADDR,
             allocs: Vec::new(),
+            init: Vec::new(),
         }
     }
 
@@ -98,6 +105,11 @@ impl DeviceMemory {
         let needed_words = ((self.next - BASE_ADDR) / 8) as usize;
         if self.words.len() < needed_words {
             self.words.resize_with(needed_words, || AtomicU64::new(0));
+        }
+        // Two 4-byte granules per word, 64 granule bits per bitmap word.
+        let needed_bits = (needed_words * 2).div_ceil(64);
+        if self.init.len() < needed_bits {
+            self.init.resize_with(needed_bits, || AtomicU64::new(0));
         }
         self.allocs.push((base, len, label.to_string()));
         Buffer { base, len }
@@ -111,6 +123,45 @@ impl DeviceMemory {
     /// The allocation log: `(base, len, label)` per allocation.
     pub fn allocations(&self) -> impl Iterator<Item = (u64, u64, &str)> {
         self.allocs.iter().map(|(b, l, s)| (*b, *l, s.as_str()))
+    }
+
+    /// The allocation containing `addr`, if any, as `(base, len, label)`.
+    /// Alignment padding between allocations belongs to none of them.
+    pub fn find_allocation(&self, addr: u64) -> Option<(u64, u64, &str)> {
+        self.allocs
+            .iter()
+            .find(|(b, l, _)| addr >= *b && addr < *b + *l)
+            .map(|(b, l, s)| (*b, *l, s.as_str()))
+    }
+
+    /// One past the highest allocated device address (aligned).
+    #[inline]
+    pub fn arena_end(&self) -> u64 {
+        self.next
+    }
+
+    /// Copy of the initialization bitmap: bit `g` of word `g / 64` covers
+    /// the 4-byte granule at device address `BASE_ADDR + 4g`.
+    pub fn init_snapshot(&self) -> Vec<u64> {
+        self.init
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Mark `[addr, addr + bytes)` as initialized.
+    #[inline]
+    fn mark_init(&self, addr: u64, bytes: u64) {
+        if addr < BASE_ADDR {
+            return;
+        }
+        let start = (addr - BASE_ADDR) / 4;
+        let end = (addr - BASE_ADDR + bytes).div_ceil(4);
+        for g in start..end {
+            if let Some(cell) = self.init.get((g / 64) as usize) {
+                cell.fetch_or(1 << (g % 64), Ordering::Relaxed);
+            }
+        }
     }
 
     /// Validate that `[addr, addr + bytes)` lies inside the allocated
@@ -146,6 +197,7 @@ impl DeviceMemory {
     pub fn write_f64(&self, addr: u64, v: f64) {
         debug_assert_eq!(addr % 8, 0, "unaligned f64 write at {addr:#x}");
         self.word(addr).store(v.to_bits(), Ordering::Relaxed);
+        self.mark_init(addr, 8);
     }
 
     /// Read a `u32` at a 4-byte-aligned device address.
@@ -176,6 +228,7 @@ impl DeviceMemory {
             (old & 0x0000_0000_FFFF_FFFF) | ((v as u64) << 32)
         };
         cell.store(new, Ordering::Relaxed);
+        self.mark_init(addr, 4);
     }
 
     /// Atomic `f64` add (relaxed), returning the previous value —
@@ -185,6 +238,7 @@ impl DeviceMemory {
     pub fn atomic_add_f64(&self, addr: u64, v: f64) -> f64 {
         debug_assert_eq!(addr % 8, 0, "unaligned atomic f64 at {addr:#x}");
         let cell = self.word(addr);
+        self.mark_init(addr, 8);
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + v).to_bits();
@@ -222,6 +276,7 @@ impl DeviceMemory {
         while addr < buf.base + buf.len {
             if addr >= BASE_ADDR && addr < self.next {
                 self.word(addr).store(0, Ordering::Relaxed);
+                self.mark_init(addr, 8);
             }
             addr += 8;
         }
@@ -303,11 +358,39 @@ mod tests {
         let mut m = DeviceMemory::new();
         let b = m.alloc(64, "b");
         assert!(m.check(b.base(), 64).is_ok());
-        assert_eq!(
-            m.check(0, 8),
-            Err(SimError::OutOfBoundsAccess { addr: 0 })
-        );
+        assert_eq!(m.check(0, 8), Err(SimError::OutOfBoundsAccess { addr: 0 }));
         assert!(m.check((b.base() + 1) << 30, 8).is_err());
+    }
+
+    #[test]
+    fn find_allocation_maps_addresses_to_labels() {
+        let mut m = DeviceMemory::new();
+        let a = m.alloc(100, "a");
+        let b = m.alloc(300, "b");
+        assert_eq!(m.find_allocation(a.addr(99)).unwrap().2, "a");
+        assert_eq!(m.find_allocation(b.base()).unwrap().2, "b");
+        // Alignment padding between allocations belongs to neither.
+        assert!(m.find_allocation(a.base() + 100).is_none());
+        assert!(m.find_allocation(m.arena_end()).is_none());
+    }
+
+    #[test]
+    fn init_bitmap_tracks_writes() {
+        let mut m = DeviceMemory::new();
+        let b = m.alloc(64, "b");
+        let granule = |addr: u64| ((addr - BASE_ADDR) / 4) as usize;
+        let bit = |snap: &[u64], g: usize| snap[g / 64] >> (g % 64) & 1 == 1;
+        let before = m.init_snapshot();
+        assert!(!bit(&before, granule(b.addr(8))));
+        m.write_f64(b.addr(8), 1.0);
+        m.write_u32(b.addr(20), 7);
+        m.atomic_add_f64(b.addr(32), 1.0);
+        let after = m.init_snapshot();
+        // f64 covers two granules, u32 exactly one, atomic two.
+        assert!(bit(&after, granule(b.addr(8))) && bit(&after, granule(b.addr(12))));
+        assert!(bit(&after, granule(b.addr(20))) && !bit(&after, granule(b.addr(16))));
+        assert!(bit(&after, granule(b.addr(32))));
+        assert!(!bit(&after, granule(b.addr(0))));
     }
 
     #[test]

@@ -80,7 +80,10 @@ mod tests {
         let r = NdRange::linear(1000, 768);
         assert_eq!(
             r.validate(&d),
-            Err(SimError::IndivisibleGlobalSize { global: 1000, local: 768 })
+            Err(SimError::IndivisibleGlobalSize {
+                global: 1000,
+                local: 768
+            })
         );
     }
 
@@ -90,7 +93,10 @@ mod tests {
         let r = NdRange::linear(4096, 2048);
         assert_eq!(
             r.validate(&d),
-            Err(SimError::InvalidLocalSize { local: 2048, max: 1024 })
+            Err(SimError::InvalidLocalSize {
+                local: 2048,
+                max: 1024
+            })
         );
     }
 

@@ -78,8 +78,7 @@ pub fn occupancy(
     // Register limit: registers are allocated per warp in units.
     let regs_per_warp = {
         let raw = res.registers_per_item * device.warp_size;
-        raw.div_ceil(device.register_alloc_unit)
-            * device.register_alloc_unit
+        raw.div_ceil(device.register_alloc_unit) * device.register_alloc_unit
     };
     let regs_per_group = regs_per_warp * warps_per_group;
     if regs_per_group > device.registers_per_sm {

@@ -50,8 +50,7 @@ impl ProfileReport {
     pub fn from_launch(label: impl Into<String>, r: &LaunchReport, device: &DeviceSpec) -> Self {
         let c = &r.counters;
         let duration_cycles = (r.duration_us * 1e-6 * device.clock_hz()).max(1.0);
-        let issue_cycles =
-            c.warp_instructions as f64 / (device.num_sms as f64 * SCHEDULERS_PER_SM);
+        let issue_cycles = c.warp_instructions as f64 / (device.num_sms as f64 * SCHEDULERS_PER_SM);
         let l1_cycles = (c.l1_sector_requests + c.shared_wavefronts) as f64
             / (device.num_sms as f64 * L1_SECTORS_PER_CYCLE);
         let gflops = r.gflops();
@@ -90,17 +89,35 @@ impl ProfileReport {
         vec![
             ("Duration (us)", format!("{:.1}", self.duration_us)),
             ("Work-items (global size)", m(self.work_items)),
-            ("Compute (SM) throughput (%)", format!("{:.1}", self.sm_throughput_pct)),
-            ("Achieved occupancy (%)", format!("{:.1}", self.occupancy_pct)),
+            (
+                "Compute (SM) throughput (%)",
+                format!("{:.1}", self.sm_throughput_pct),
+            ),
+            (
+                "Achieved occupancy (%)",
+                format!("{:.1}", self.occupancy_pct),
+            ),
             ("Peak performance (%)", format!("{:.0}", self.peak_pct)),
-            ("L1/TEX cache throughput (%)", format!("{:.1}", self.l1_throughput_pct)),
+            (
+                "L1/TEX cache throughput (%)",
+                format!("{:.1}", self.l1_throughput_pct),
+            ),
             ("L1/TEX miss rate (%)", format!("{:.1}", self.l1_miss_pct)),
             ("L2 miss rate (%)", format!("{:.1}", self.l2_miss_pct)),
-            ("Shared memory per work-group (KB)", format!("{:.1}", self.shared_kb_per_group)),
+            (
+                "Shared memory per work-group (KB)",
+                format!("{:.1}", self.shared_kb_per_group),
+            ),
             ("L1 tag requests global", m(self.l1_tag_requests)),
             ("L1 wavefronts shared", m(self.shared_wavefronts)),
-            ("Excessive L1 wavefronts shared", m(self.excessive_wavefronts)),
-            ("Avg. divergent branches", format!("{:.0}", self.avg_divergent_branches)),
+            (
+                "Excessive L1 wavefronts shared",
+                m(self.excessive_wavefronts),
+            ),
+            (
+                "Avg. divergent branches",
+                format!("{:.0}", self.avg_divergent_branches),
+            ),
         ]
     }
 
@@ -195,6 +212,7 @@ mod tests {
             l1_stats: Default::default(),
             l2_stats: Default::default(),
             duration_us: 929.0,
+            sanitizer: None,
         }
     }
 

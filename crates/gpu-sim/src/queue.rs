@@ -117,10 +117,12 @@ impl<'d> Queue<'d> {
             QueueMode::InOrder => IN_ORDER_OVERHEAD_US,
             QueueMode::OutOfOrder => OOO_BASE_OVERHEAD_US + OOO_FRACTION * report.duration_us,
         };
-        self.submissions.push(Submission { report, overhead_us });
+        self.submissions.push(Submission {
+            report,
+            overhead_us,
+        });
         Ok(self.submissions.last().expect("just pushed"))
     }
-
 
     /// All submissions so far.
     pub fn submissions(&self) -> &[Submission] {
@@ -190,7 +192,10 @@ mod tests {
         let duration = 900.0;
         let ooo = OOO_BASE_OVERHEAD_US + OOO_FRACTION * duration;
         let advantage = (ooo - IN_ORDER_OVERHEAD_US) / (duration + ooo);
-        assert!(advantage > 0.015 && advantage < 0.067, "advantage {advantage}");
+        assert!(
+            advantage > 0.015 && advantage < 0.067,
+            "advantage {advantage}"
+        );
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! Happens-before race detection over shadow memory.
+//!
+//! The execution model gives exactly two ordering edges:
+//!
+//! 1. **program order** — two accesses by the same work-item;
+//! 2. **barrier-phase order** — two accesses by work-items of the same
+//!    work-group in *different* phases (the engine runs phase `p` of a
+//!    group to completion before phase `p + 1`, which is what the
+//!    kernel's `group_barrier` promises).
+//!
+//! Accesses by different groups are never ordered: the paper's kernels
+//! must be correct under any group interleaving, so the detector treats
+//! cross-group conflicts as races no matter the order the sequential
+//! engine happened to execute them in.
+//!
+//! A *conflict* needs overlapping bytes, at least one write, and at
+//! least one **non-atomic** participant among the writes involved:
+//! atomic-vs-atomic is how 3LP-2/3LP-3 are *supposed* to combine their
+//! partial sums, and an atomic write racing a plain read is likewise
+//! exempt (the accumulate-then-read-next-launch pattern).  Everything
+//! else — plain-write vs plain-write, plain-write vs read, plain-write
+//! vs atomic — is reported.
+//!
+//! Shadow memory holds, per 4-byte granule, the last write and a bounded
+//! set of readers since that write.  Bounding the reader set (8 entries)
+//! bounds memory on hot read-shared granules (the gauge links are read
+//! by dozens of items per phase); it can in principle miss a race whose
+//! only unordered reader was evicted, but every race the defect suite
+//! injects — and every race class the paper's kernels could realistically
+//! regress into — is caught through the first readers or the last write.
+
+use super::FindingKind;
+use crate::memory::BASE_ADDR;
+
+/// Maximum readers remembered per granule since its last write.
+const MAX_READERS: usize = 8;
+
+/// One recorded access, as the happens-before predicate sees it.
+#[derive(Copy, Clone, Debug)]
+pub struct Access {
+    /// Global work-item id.
+    pub item: u64,
+    /// Work-group id (ignored for local memory, which is group-private).
+    pub group: u64,
+    /// Barrier phase the access executed in.
+    pub phase: u32,
+    /// Whether the access was a device atomic.
+    pub atomic: bool,
+}
+
+/// Whether `a` happens-before-or-after `b` (any order suffices to rule
+/// out a race; the engine serializes everything, so "ordered" here means
+/// "ordered under *every* legal schedule").
+#[inline]
+fn ordered(a: &Access, b: &Access) -> bool {
+    a.item == b.item || (a.group == b.group && a.phase != b.phase)
+}
+
+/// Per-granule shadow cell.
+#[derive(Clone, Default)]
+struct Cell {
+    last_write: Option<Access>,
+    readers: Vec<Access>,
+}
+
+/// Shadow memory for one launch: the whole device arena plus one
+/// group's local memory (reset per group).
+pub(super) struct RaceChecker {
+    /// One cell per 4-byte granule of `[BASE_ADDR, arena_end)`.
+    global: Vec<Cell>,
+    /// One cell per 4-byte granule of the group's local memory.
+    local: Vec<Cell>,
+}
+
+impl RaceChecker {
+    pub(super) fn new(arena_end: u64, local_mem_bytes: u32) -> Self {
+        let global_granules = ((arena_end - BASE_ADDR) / 4) as usize;
+        let local_granules = (local_mem_bytes as usize).div_ceil(4);
+        Self {
+            global: vec![Cell::default(); global_granules],
+            local: vec![Cell::default(); local_granules],
+        }
+    }
+
+    pub(super) fn begin_group(&mut self) {
+        for c in &mut self.local {
+            c.last_write = None;
+            c.readers.clear();
+        }
+    }
+
+    /// Record a global access and report conflicts.  The caller has
+    /// already bounds-checked `[addr, addr + bytes)` against the arena.
+    pub(super) fn global_access(
+        &mut self,
+        addr: u64,
+        bytes: u8,
+        acc: Access,
+        write: bool,
+        label: Option<&str>,
+        out: &mut Vec<(FindingKind, String)>,
+    ) {
+        let start = ((addr - BASE_ADDR) / 4) as usize;
+        let end = ((addr - BASE_ADDR + bytes as u64).div_ceil(4)) as usize;
+        for g in start..end.min(self.global.len()) {
+            if let Some(conflict) = check_cell(&mut self.global[g], &acc, write) {
+                out.push((
+                    FindingKind::GlobalRace {
+                        label: label.unwrap_or("<unlabelled>").to_string(),
+                    },
+                    format!(
+                        "items {} and {} access {:#x} unordered ({})",
+                        conflict.item,
+                        acc.item,
+                        BASE_ADDR + 4 * g as u64,
+                        conflict_shape(&conflict, &acc, write),
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Record a local-memory access and report conflicts.  The caller
+    /// has already bounds-checked against the declared allocation.
+    pub(super) fn local_access(
+        &mut self,
+        offset: u32,
+        bytes: u8,
+        acc: Access,
+        write: bool,
+        out: &mut Vec<(FindingKind, String)>,
+    ) {
+        let start = (offset / 4) as usize;
+        let end = ((offset as usize) + bytes as usize).div_ceil(4);
+        for g in start..end.min(self.local.len()) {
+            if let Some(conflict) = check_cell(&mut self.local[g], &acc, write) {
+                out.push((
+                    FindingKind::LocalRace,
+                    format!(
+                        "items {} and {} access local offset {} unordered ({})",
+                        conflict.item,
+                        acc.item,
+                        4 * g,
+                        conflict_shape(&conflict, &acc, write),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Check one access against one shadow cell, update the cell, and
+/// return the conflicting prior access if any.
+fn check_cell(cell: &mut Cell, acc: &Access, write: bool) -> Option<Access> {
+    let mut conflict = None;
+    if write {
+        if let Some(w) = &cell.last_write {
+            // Write-write: racy unless ordered or both atomic.
+            if !(ordered(w, acc) || (w.atomic && acc.atomic)) {
+                conflict = Some(*w);
+            }
+        }
+        if conflict.is_none() && !acc.atomic {
+            // Plain write vs earlier read: racy unless ordered.  An
+            // *atomic* write racing a plain read is exempt (no
+            // non-atomic write involved).
+            conflict = cell.readers.iter().find(|r| !ordered(r, acc)).copied();
+        }
+        cell.last_write = Some(*acc);
+        cell.readers.clear();
+    } else {
+        if let Some(w) = &cell.last_write {
+            // Read vs last write: racy only against a plain write.
+            if !w.atomic && !ordered(w, acc) {
+                conflict = Some(*w);
+            }
+        }
+        if cell.readers.len() < MAX_READERS {
+            cell.readers.push(*acc);
+        }
+    }
+    conflict
+}
+
+/// Short description of who conflicted with whom, for the detail line.
+fn conflict_shape(prior: &Access, now: &Access, now_write: bool) -> &'static str {
+    match (prior.atomic, now_write, now.atomic) {
+        (_, true, true) => "plain write vs atomic",
+        (true, true, false) => "atomic vs plain write",
+        (false, true, false) => "write vs write or read",
+        (false, false, _) => "read vs plain write",
+        (true, false, _) => "read vs atomic",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(item: u64, group: u64, phase: u32, atomic: bool) -> Access {
+        Access {
+            item,
+            group,
+            phase,
+            atomic,
+        }
+    }
+
+    #[test]
+    fn program_order_and_barrier_order_are_edges() {
+        let a = acc(3, 0, 0, false);
+        assert!(ordered(&a, &acc(3, 9, 5, false))); // same item
+        assert!(ordered(&a, &acc(7, 0, 1, false))); // same group, new phase
+        assert!(!ordered(&a, &acc(7, 0, 0, false))); // same group, same phase
+        assert!(!ordered(&a, &acc(7, 1, 1, false))); // different groups
+    }
+
+    #[test]
+    fn plain_write_write_race_is_reported() {
+        let mut rc = RaceChecker::new(BASE_ADDR + 256, 0);
+        let mut out = Vec::new();
+        rc.global_access(BASE_ADDR, 8, acc(0, 0, 0, false), true, Some("c"), &mut out);
+        rc.global_access(BASE_ADDR, 8, acc(1, 1, 0, false), true, Some("c"), &mut out);
+        assert_eq!(out.len(), 2); // both granules of the 8-byte overlap
+        assert!(matches!(out[0].0, FindingKind::GlobalRace { ref label } if label == "c"));
+    }
+
+    #[test]
+    fn atomic_atomic_is_exempt_but_mixed_is_not() {
+        let mut rc = RaceChecker::new(BASE_ADDR + 256, 0);
+        let mut out = Vec::new();
+        rc.global_access(BASE_ADDR, 8, acc(0, 0, 0, true), true, Some("c"), &mut out);
+        rc.global_access(BASE_ADDR, 8, acc(1, 1, 0, true), true, Some("c"), &mut out);
+        assert!(out.is_empty(), "atomic vs atomic must not be a race");
+        rc.global_access(BASE_ADDR, 8, acc(2, 2, 0, false), true, Some("c"), &mut out);
+        assert!(!out.is_empty(), "plain write against atomics races");
+    }
+
+    #[test]
+    fn barrier_phase_orders_cross_item_reuse() {
+        let mut rc = RaceChecker::new(BASE_ADDR + 256, 16);
+        let mut out = Vec::new();
+        // Item 0 writes in phase 0; item 1 of the same group reads in
+        // phase 1 — the 3LP local-memory pattern, race-free.
+        rc.local_access(0, 16, acc(0, 0, 0, false), true, &mut out);
+        rc.local_access(0, 16, acc(1, 0, 1, false), false, &mut out);
+        assert!(out.is_empty());
+        // Same-phase cross-item read of a written slot IS a race (the
+        // broken-barrier defect).
+        let mut rc = RaceChecker::new(BASE_ADDR + 256, 16);
+        rc.local_access(0, 16, acc(0, 0, 0, false), true, &mut out);
+        rc.local_access(0, 16, acc(1, 0, 0, false), false, &mut out);
+        assert_eq!(out.len(), 4);
+        assert!(matches!(out[0].0, FindingKind::LocalRace));
+    }
+
+    #[test]
+    fn read_read_never_races_and_write_after_reads_does() {
+        let mut rc = RaceChecker::new(BASE_ADDR + 256, 0);
+        let mut out = Vec::new();
+        for item in 0..6 {
+            rc.global_access(
+                BASE_ADDR,
+                4,
+                acc(item, item, 0, false),
+                false,
+                Some("u"),
+                &mut out,
+            );
+        }
+        assert!(out.is_empty(), "shared reads are fine");
+        rc.global_access(BASE_ADDR, 4, acc(9, 9, 0, false), true, Some("u"), &mut out);
+        assert_eq!(
+            out.len(),
+            1,
+            "a plain write against unordered readers races"
+        );
+    }
+
+    #[test]
+    fn local_state_resets_per_group() {
+        let mut rc = RaceChecker::new(BASE_ADDR + 256, 16);
+        let mut out = Vec::new();
+        rc.local_access(0, 8, acc(0, 0, 0, false), true, &mut out);
+        rc.begin_group();
+        // A different group's item touching the same offset in the same
+        // phase is NOT a race: it is different physical memory.
+        rc.local_access(0, 8, acc(64, 1, 0, false), true, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -208,10 +208,7 @@ fn fit_linear(samples: &[CalibrationSample], device: &DeviceSpec, alpha: f64) ->
             let mut num = 0.0;
             let mut den = 0.0;
             for r in &rows {
-                let partial: f64 = (0..nf)
-                    .filter(|&k| k != j)
-                    .map(|k| r[k] * w[k])
-                    .sum();
+                let partial: f64 = (0..nf).filter(|&k| k != j).map(|k| r[k] * w[k]).sum();
                 num += r[j] * (1.0 - partial);
                 den += r[j] * r[j];
             }

@@ -20,14 +20,19 @@
 //!
 //! The alignment contract: lanes on the same path must produce the same
 //! event kinds in the same order (true by construction for structured
-//! SPMD kernels; asserted in debug builds), and every lane of a warp
-//! must call `set_path` the same number of times in a phase, even if
-//! only to re-state its current path.
+//! SPMD kernels), and every lane of a warp must call `set_path` the
+//! same number of times in a phase, even if only to re-state its
+//! current path.  A violation — an undeclared divergent branch — is
+//! reported as [`SimError::LaneDivergenceMismatch`] in *all* build
+//! profiles, so release-mode launches fail loudly instead of silently
+//! mis-attributing transactions (this used to be a debug-only
+//! assertion).
 
 use crate::atomics::model_atomic_instruction;
 use crate::cache::Cache;
 use crate::coalesce::coalesce;
 use crate::counters::Counters;
+use crate::error::SimError;
 use crate::event::Event;
 use crate::sharedmem::model_shared_instruction;
 
@@ -69,9 +74,11 @@ fn segment(stream: &[Event]) -> Vec<(u32, usize, usize)> {
 ///
 /// `streams[lane]` is the ordered event list lane `lane` produced;
 /// lanes beyond the launch boundary simply pass empty streams.
-pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) {
-    let segs: Vec<Vec<(u32, usize, usize)>> =
-        streams.iter().map(|s| segment(s)).collect();
+///
+/// Returns [`SimError::LaneDivergenceMismatch`] if lanes sharing a path
+/// fall out of lockstep (an undeclared divergent branch in the kernel).
+pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) -> Result<(), SimError> {
+    let segs: Vec<Vec<(u32, usize, usize)>> = streams.iter().map(|s| segment(s)).collect();
     let max_segs = segs.iter().map(|s| s.len()).max().unwrap_or(0);
 
     // Scratch buffers reused across steps.
@@ -160,10 +167,13 @@ pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) {
                                     is_store = true;
                                     addrs.push((addr, bytes));
                                 }
-                                ref other => debug_assert!(
-                                    false,
-                                    "lane {l} out of lockstep: expected global access, got {other:?}"
-                                ),
+                                ref other => {
+                                    return Err(SimError::LaneDivergenceMismatch {
+                                        lane: l as u32,
+                                        expected: "global access",
+                                        found: other.kind_name(),
+                                    })
+                                }
                             }
                         }
                         let c = coalesce(&addrs, sinks.line_bytes, sinks.sector_bytes);
@@ -202,7 +212,11 @@ pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) {
                                 atomic_addrs.push(addr);
                                 addrs.push((addr, bytes));
                             } else {
-                                debug_assert!(false, "lane {l} out of lockstep at atomic");
+                                return Err(SimError::LaneDivergenceMismatch {
+                                    lane: l as u32,
+                                    expected: "atomic rmw",
+                                    found: streams[l][s + step].kind_name(),
+                                });
                             }
                         }
                         let a = model_atomic_instruction(&atomic_addrs);
@@ -227,10 +241,13 @@ pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) {
                                 | Event::LocalStore { offset, bytes } => {
                                     local_accs.push((offset, bytes))
                                 }
-                                ref other => debug_assert!(
-                                    false,
-                                    "lane {l} out of lockstep: expected local access, got {other:?}"
-                                ),
+                                ref other => {
+                                    return Err(SimError::LaneDivergenceMismatch {
+                                        lane: l as u32,
+                                        expected: "local access",
+                                        found: other.kind_name(),
+                                    })
+                                }
                             }
                         }
                         let r =
@@ -248,7 +265,11 @@ pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) {
                                 sinks.counters.flops += n as u64;
                                 worst = worst.max(n as u64);
                             } else {
-                                debug_assert!(false, "lane {l} out of lockstep at flops");
+                                return Err(SimError::LaneDivergenceMismatch {
+                                    lane: l as u32,
+                                    expected: "flops",
+                                    found: streams[l][s + step].kind_name(),
+                                });
                             }
                         }
                         // An fp64 FMA retires 2 FLOPs per lane per slot,
@@ -263,7 +284,11 @@ pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) {
                             if let Event::Iops(n) = streams[l][s + step] {
                                 sinks.counters.iops += n as u64;
                             } else {
-                                debug_assert!(false, "lane {l} out of lockstep at iops");
+                                return Err(SimError::LaneDivergenceMismatch {
+                                    lane: l as u32,
+                                    expected: "iops",
+                                    found: streams[l][s + step].kind_name(),
+                                });
                             }
                         }
                         sinks.counters.warp_instructions += 1;
@@ -278,6 +303,7 @@ pub fn replay_warp(streams: &[Vec<Event>], sinks: &mut ReplaySinks<'_>) {
             sinks.counters.divergent_branches += executed_groups - 1;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -320,11 +346,16 @@ mod tests {
     #[test]
     fn coalesced_warp_load() {
         let streams: Vec<Vec<Event>> = (0..32)
-            .map(|i| vec![Event::GlobalLoad { addr: 4096 + i * 8, bytes: 8 }])
+            .map(|i| {
+                vec![Event::GlobalLoad {
+                    addr: 4096 + i * 8,
+                    bytes: 8,
+                }]
+            })
             .collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.global_load_instructions, 1);
         assert_eq!(c.l1_tag_requests_global, 2); // 256 B = 2 lines
         assert_eq!(c.l1_sector_requests, 8);
@@ -338,14 +369,20 @@ mod tests {
         let streams: Vec<Vec<Event>> = (0..32)
             .map(|i| {
                 vec![
-                    Event::GlobalLoad { addr: 4096 + i * 8, bytes: 8 },
-                    Event::GlobalLoad { addr: 4096 + i * 8, bytes: 8 },
+                    Event::GlobalLoad {
+                        addr: 4096 + i * 8,
+                        bytes: 8,
+                    },
+                    Event::GlobalLoad {
+                        addr: 4096 + i * 8,
+                        bytes: 8,
+                    },
                 ]
             })
             .collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.l1_sector_requests, 16);
         assert_eq!(c.l1_sector_misses, 8); // second instruction hits
     }
@@ -364,7 +401,7 @@ mod tests {
             .collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.divergent_branches, 1);
         assert_eq!(c.flops, 32);
         // Two serialized path groups, one flop step each.
@@ -379,7 +416,7 @@ mod tests {
             .collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.divergent_branches, 0);
         assert_eq!(c.flops, 64);
     }
@@ -388,11 +425,16 @@ mod tests {
     fn atomic_collision_passes() {
         // All 32 lanes atomically update the same address.
         let streams: Vec<Vec<Event>> = (0..32)
-            .map(|_| vec![Event::AtomicRmw { addr: 8192, bytes: 8 }])
+            .map(|_| {
+                vec![Event::AtomicRmw {
+                    addr: 8192,
+                    bytes: 8,
+                }]
+            })
             .collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.atomic_instructions, 1);
         assert_eq!(c.atomic_passes, 32);
         // Atomics bypass L1 entirely.
@@ -404,11 +446,16 @@ mod tests {
     fn shared_conflicts_counted() {
         // The 16-byte-stride local store pattern (4-way conflict).
         let streams: Vec<Vec<Event>> = (0..32u32)
-            .map(|i| vec![Event::LocalStore { offset: i * 16, bytes: 16 }])
+            .map(|i| {
+                vec![Event::LocalStore {
+                    offset: i * 16,
+                    bytes: 16,
+                }]
+            })
             .collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.local_instructions, 1);
         assert_eq!(c.shared_wavefronts, 16);
         assert_eq!(c.excessive_shared_wavefronts(), 12);
@@ -418,12 +465,17 @@ mod tests {
     fn early_exit_lanes_drop_out() {
         // Lanes 0..8 do work; the rest returned immediately.
         let mut streams: Vec<Vec<Event>> = (0..8)
-            .map(|i| vec![Event::GlobalLoad { addr: 1024 + i * 8, bytes: 8 }])
+            .map(|i| {
+                vec![Event::GlobalLoad {
+                    addr: 1024 + i * 8,
+                    bytes: 8,
+                }]
+            })
             .collect();
         streams.extend((8..32).map(|_| Vec::new()));
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.global_load_instructions, 1);
         assert_eq!(c.l1_sector_requests, 2); // 64 contiguous bytes
     }
@@ -438,7 +490,10 @@ mod tests {
                 if i < 16 {
                     vec![
                         Event::Iops(1),
-                        Event::GlobalLoad { addr: 4096 + i * 8, bytes: 8 },
+                        Event::GlobalLoad {
+                            addr: 4096 + i * 8,
+                            bytes: 8,
+                        },
                         Event::Flops(2),
                     ]
                 } else {
@@ -448,7 +503,7 @@ mod tests {
             .collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c.global_load_instructions, 1);
         // Only the 16 surviving lanes' addresses coalesce: 128 B = 1 line.
         assert_eq!(c.l1_tag_requests_global, 1);
@@ -457,11 +512,44 @@ mod tests {
     }
 
     #[test]
+    fn undeclared_divergence_is_an_error() {
+        // Lane 1 issues a store where the rest of the warp issues a
+        // load, without any set_path declaration: the replayer must
+        // surface a recoverable error, not a debug-only assertion.
+        let streams: Vec<Vec<Event>> = (0..32u64)
+            .map(|i| {
+                if i == 1 {
+                    vec![Event::LocalStore {
+                        offset: 0,
+                        bytes: 8,
+                    }]
+                } else {
+                    vec![Event::GlobalLoad {
+                        addr: 4096 + i * 8,
+                        bytes: 8,
+                    }]
+                }
+            })
+            .collect();
+        let (mut l1, mut l2) = caches();
+        let mut c = Counters::default();
+        let err = replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::LaneDivergenceMismatch {
+                lane: 1,
+                expected: "global access",
+                found: "local store",
+            }
+        );
+    }
+
+    #[test]
     fn empty_warp_is_noop() {
         let streams: Vec<Vec<Event>> = (0..32).map(|_| Vec::new()).collect();
         let (mut l1, mut l2) = caches();
         let mut c = Counters::default();
-        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c));
+        replay_warp(&streams, &mut sinks_with(&mut l1, &mut l2, &mut c)).unwrap();
         assert_eq!(c, Counters::default());
     }
 }

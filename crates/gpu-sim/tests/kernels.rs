@@ -320,7 +320,8 @@ fn queue_accumulates_multiple_heterogeneous_kernels() {
 
     let mut q = gpu_sim::Queue::on_device(&device, QueueMode::InOrder);
     q.submit(&reduce, NdRange::linear(1024, 128), &mem).unwrap();
-    q.submit(&classify, NdRange::linear(1024, 64), &mem).unwrap();
+    q.submit(&classify, NdRange::linear(1024, 64), &mem)
+        .unwrap();
     assert_eq!(q.submissions().len(), 2);
     assert_eq!(mem.read_f64(acc.addr(0)), 2048.0);
     assert!(q.total_us() > 0.0);

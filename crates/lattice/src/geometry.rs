@@ -216,7 +216,11 @@ mod tests {
             for dim in 0..4 {
                 for step in [-3isize, -1, 1, 3] {
                     let n = lat.neighbor(s, dim, step);
-                    assert_eq!(lat.parity(n), lat.parity(s).flip(), "site {s} dim {dim} step {step}");
+                    assert_eq!(
+                        lat.parity(n),
+                        lat.parity(s).flip(),
+                        "site {s} dim {dim} step {step}"
+                    );
                 }
             }
         }

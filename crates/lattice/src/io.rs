@@ -70,10 +70,7 @@ fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
 }
 
 /// Write a gauge configuration (forward links only).
-pub fn write_gauge<C: ComplexField, W: Write>(
-    w: &mut W,
-    gauge: &GaugeField<C>,
-) -> io::Result<()> {
+pub fn write_gauge<C: ComplexField, W: Write>(w: &mut W, gauge: &GaugeField<C>) -> io::Result<()> {
     let lattice = gauge.lattice();
     write_header(w, GAUGE_MAGIC, lattice)?;
     for link in [LinkType::FatFwd, LinkType::LongFwd] {

@@ -72,7 +72,10 @@ impl NeighborTable {
     /// Build the tables for a lattice.
     pub fn build(lattice: &Lattice) -> Self {
         let v = lattice.volume();
-        assert!(v <= u32::MAX as usize, "lattice too large for u32 site indices");
+        assert!(
+            v <= u32::MAX as usize,
+            "lattice too large for u32 site indices"
+        );
         let mut fwd1 = Vec::with_capacity(v * 4);
         let mut bwd1 = Vec::with_capacity(v * 4);
         let mut fwd3 = Vec::with_capacity(v * 4);
@@ -85,7 +88,12 @@ impl NeighborTable {
                 bwd3.push(lattice.neighbor(s, k, -3) as u32);
             }
         }
-        Self { fwd1, bwd1, fwd3, bwd3 }
+        Self {
+            fwd1,
+            bwd1,
+            fwd3,
+            bwd3,
+        }
     }
 
     /// The whole table for one hop, ready to upload to the device.

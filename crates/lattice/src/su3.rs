@@ -179,11 +179,7 @@ fn random_row<C: ComplexField, R: Rng>(rng: &mut R) -> [C; 3] {
         let u2: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
         (-2.0 * u1.ln()).sqrt() * u2.cos()
     };
-    [
-        C::new(g(), g()),
-        C::new(g(), g()),
-        C::new(g(), g()),
-    ]
+    [C::new(g(), g()), C::new(g(), g()), C::new(g(), g())]
 }
 
 fn row_norm<C: ComplexField>(row: &[C; 3]) -> f64 {
@@ -257,7 +253,10 @@ mod tests {
             let m = Su3::<Z>::random(&mut rng);
             assert!(m.unitarity_error() < 1e-12, "unitarity error too large");
             let d = m.det();
-            assert!((d.re - 1.0).abs() < 1e-12 && d.im.abs() < 1e-12, "det = {d:?}");
+            assert!(
+                (d.re - 1.0).abs() < 1e-12 && d.im.abs() < 1e-12,
+                "det = {d:?}"
+            );
         }
     }
 

@@ -120,14 +120,14 @@ mod tests {
         let device = DeviceSpec::test_small();
         let mut mem = DeviceMemory::new();
         let b = mem.alloc(8192 * 8, "b");
-        let k = Touch { buf: b.base(), n: 8192 };
+        let k = Touch {
+            buf: b.base(),
+            n: 8192,
+        };
         let r = autotune(&k, 8192, &default_candidates(&device), &device, &mem).unwrap();
         assert!(r.best_local_size.is_multiple_of(32));
         assert!(!r.sweep.is_empty());
-        assert!(r
-            .sweep
-            .iter()
-            .all(|p| p.duration_us >= r.best_us));
+        assert!(r.sweep.iter().all(|p| p.duration_us >= r.best_us));
     }
 
     #[test]
@@ -144,7 +144,10 @@ mod tests {
         let device = DeviceSpec::test_small();
         let mut mem = DeviceMemory::new();
         let b = mem.alloc(96 * 8, "b");
-        let k = Touch { buf: b.base(), n: 96 };
+        let k = Touch {
+            buf: b.base(),
+            n: 96,
+        };
         // 96 is not divisible by 64 or 128; the padded grid makes every
         // candidate launchable and the kernel's bounds check keeps the
         // overhang threads idle.

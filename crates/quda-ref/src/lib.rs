@@ -24,8 +24,7 @@ pub use kernel::{QudaDslashKernel, QudaTables};
 pub use recon::Recon;
 
 use gpu_sim::{
-    DeviceMemory, DeviceSpec, DeviceState, LaunchReport, Launcher, Queue, QueueMode,
-    SimError,
+    DeviceMemory, DeviceSpec, DeviceState, LaunchReport, Launcher, Queue, QueueMode, SimError,
 };
 use milc_complex::DoubleComplex;
 use milc_dslash::validate::{compare_to_reference, MaxError};
@@ -257,7 +256,11 @@ mod tests {
     fn recon9_matches_reference_within_recon_noise() {
         let t = StaggeredDslashTest::random(4, 7, Recon::R9);
         let out = t.run(&DeviceSpec::test_small()).unwrap();
-        assert!(out.error.rel < Recon::R9.tolerance(), "error {:?}", out.error);
+        assert!(
+            out.error.rel < Recon::R9.tolerance(),
+            "error {:?}",
+            out.error
+        );
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Offline drop-in subset of [rand 0.8](https://crates.io/crates/rand).
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the rand surface it uses: the `RngCore` / `Rng` /
+//! `SeedableRng` traits, `rngs::StdRng`, and uniform `gen_range`
+//! sampling over `f64` and integer ranges.  The trait shapes match rand
+//! 0.8 so code written against this shim compiles unchanged against the
+//! real crate; the *stream* of `StdRng` is not bit-compatible with
+//! upstream (upstream documents StdRng's algorithm as unspecified), only
+//! deterministic per seed — which is all the field constructors and
+//! tests rely on.
+
+use std::ops::Range;
+
+/// The core of a random number generator: a 64-bit output stream.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator seedable from a `u64` (rand 0.8's universal constructor).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanded by SplitMix64
+    /// exactly like rand 0.8's `seed_from_u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (half-open `a..b` over `f64` or
+    /// integers, as the workspace uses it).
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        // 53 uniform mantissa bits in [0, 1).
+        let u01 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u01 * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// SplitMix64 step — the seed expander rand 0.8 uses for
+/// `seed_from_u64`, and a fine tiny generator in its own right.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64.  Deterministic per seed; not bit-compatible with
+    /// upstream `StdRng` (whose algorithm upstream documents as
+    /// unspecified and subject to change).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for w in s.iter_mut() {
+                *w = splitmix64(&mut state);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from one seed, but keep the guard local.
+            if s == [0; 4] {
+                s[0] = 1;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256** by Blackman & Vigna (public domain).
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds_and_varies() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&v));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        // A uniform sample of 10k points covers most of the range.
+        assert!(min < -1.5 && max > 2.5);
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

@@ -157,7 +157,9 @@ pub fn migrate(launch: CudaLaunch, opts: MigrationOptions) -> MigratedLaunch {
         launch.grid.x as u64 * launch.block.x as u64,
     ];
     let local = [launch.block.z, launch.block.y, launch.block.x];
-    report.rewrites.push(Rewrite::LaunchToNdRange { global, local });
+    report
+        .rewrites
+        .push(Rewrite::LaunchToNdRange { global, local });
 
     if opts.use_1d_range {
         report.rewrites.push(Rewrite::CollapsedTo1d);
@@ -303,9 +305,18 @@ mod tests {
         };
         let base = migrate(launch, MigrationOptions::default());
         for opts in [
-            MigrationOptions { use_1d_range: true, ..MigrationOptions::default() },
-            MigrationOptions { explicit_local_fence: true, ..MigrationOptions::default() },
-            MigrationOptions { strip_error_checks: true, ..MigrationOptions::default() },
+            MigrationOptions {
+                use_1d_range: true,
+                ..MigrationOptions::default()
+            },
+            MigrationOptions {
+                explicit_local_fence: true,
+                ..MigrationOptions::default()
+            },
+            MigrationOptions {
+                strip_error_checks: true,
+                ..MigrationOptions::default()
+            },
         ] {
             let m = migrate(launch, opts);
             assert_eq!(m.nd_range, base.nd_range);

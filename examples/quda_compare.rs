@@ -48,8 +48,8 @@ fn main() {
     let hv = problem.lattice().half_volume() as u64;
     let mut best: Option<(u32, f64)> = None;
     for ls in cfg.legal_local_sizes(hv) {
-        let out = run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder)
-            .expect("3LP-1 run");
+        let out =
+            run_config(&mut problem, cfg, ls, &device, QueueMode::OutOfOrder).expect("3LP-1 run");
         assert!(out.error.within_reassociation_noise());
         let g = out.gflops * equiv;
         if best.is_none_or(|(_, bg)| g > bg) {

@@ -32,8 +32,14 @@ fn main() {
         cfg.label(),
         device.name
     );
-    let out = run_config(&mut problem, cfg, local_size, &device, QueueMode::OutOfOrder)
-        .expect("launch failed");
+    let out = run_config(
+        &mut problem,
+        cfg,
+        local_size,
+        &device,
+        QueueMode::OutOfOrder,
+    )
+    .expect("launch failed");
 
     println!("\n== results ==");
     println!("kernel duration        : {:9.1} µs", out.report.duration_us);
@@ -51,10 +57,7 @@ fn main() {
         "L1 miss rate           : {:9.1} %",
         out.report.counters.l1_miss_rate_pct()
     );
-    println!(
-        "max error vs reference : {:9.2e} (relative)",
-        out.error.rel
-    );
+    println!("max error vs reference : {:9.2e} (relative)", out.error.rel);
     assert!(
         out.error.within_reassociation_noise(),
         "device result diverged from the CPU reference!"

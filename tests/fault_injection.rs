@@ -30,25 +30,40 @@ impl Kernel for Hog {
 fn register_file_exhaustion_is_typed() {
     let device = DeviceSpec::a100();
     let mem = DeviceMemory::new();
-    let k = Hog { regs: 255, shared: 0 };
+    let k = Hog {
+        regs: 255,
+        shared: 0,
+    };
     let err = Launcher::new(&device).launch(&k, NdRange::linear(2048, 1024), &mem);
-    assert!(matches!(err, Err(SimError::RegistersExhausted { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(SimError::RegistersExhausted { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
 fn local_memory_exhaustion_is_typed() {
     let device = DeviceSpec::a100();
     let mem = DeviceMemory::new();
-    let k = Hog { regs: 16, shared: 200 * 1024 };
+    let k = Hog {
+        regs: 16,
+        shared: 200 * 1024,
+    };
     let err = Launcher::new(&device).launch(&k, NdRange::linear(256, 128), &mem);
-    assert!(matches!(err, Err(SimError::LocalMemTooLarge { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(SimError::LocalMemTooLarge { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
 fn indivisible_and_oversized_ranges_are_typed() {
     let device = DeviceSpec::a100();
     let mem = DeviceMemory::new();
-    let k = Hog { regs: 16, shared: 0 };
+    let k = Hog {
+        regs: 16,
+        shared: 0,
+    };
     assert!(matches!(
         Launcher::new(&device).launch(&k, NdRange::linear(1000, 768), &mem),
         Err(SimError::IndivisibleGlobalSize { .. })
@@ -66,7 +81,10 @@ impl Kernel for WildLoad {
         "wild"
     }
     fn resources(&self, _ls: u32) -> KernelResources {
-        KernelResources { registers_per_item: 8, local_mem_bytes_per_group: 0 }
+        KernelResources {
+            registers_per_item: 8,
+            local_mem_bytes_per_group: 0,
+        }
     }
     fn run_phase(&self, _p: usize, lane: &mut Lane<'_>) {
         // Device address far outside every allocation.
@@ -93,7 +111,10 @@ fn misaligned_local_size_rejected_before_memory_is_touched() {
     let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
     // 32 divides 128*12 = 1536 but is not a multiple of 12.
     let err = run_config(&mut p, cfg, 32, &device, gpu_sim::QueueMode::InOrder);
-    assert!(matches!(err, Err(SimError::InvalidLocalSize { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(SimError::InvalidLocalSize { .. })),
+        "{err:?}"
+    );
     // The output buffer is untouched (still zero).
     assert!(p.read_output().iter().all(|v| v.norm_sqr() == 0.0));
 }
@@ -111,7 +132,10 @@ fn wrong_device_state_is_rejected() {
             "touch"
         }
         fn resources(&self, _ls: u32) -> KernelResources {
-            KernelResources { registers_per_item: 8, local_mem_bytes_per_group: 0 }
+            KernelResources {
+                registers_per_item: 8,
+                local_mem_bytes_per_group: 0,
+            }
         }
         fn run_phase(&self, _p: usize, lane: &mut Lane<'_>) {
             let i = lane.global_id();

@@ -72,13 +72,20 @@ fn sequential_and_parallel_modes_agree_on_order_free_counters() {
     // Execution-order-free counters identical.
     assert_eq!(seq.counters.items, par.counters.items);
     assert_eq!(seq.counters.flops, par.counters.flops);
-    assert_eq!(seq.counters.l1_tag_requests_global, par.counters.l1_tag_requests_global);
-    assert_eq!(seq.counters.shared_wavefronts, par.counters.shared_wavefronts);
-    assert_eq!(seq.counters.divergent_branches, par.counters.divergent_branches);
+    assert_eq!(
+        seq.counters.l1_tag_requests_global,
+        par.counters.l1_tag_requests_global
+    );
+    assert_eq!(
+        seq.counters.shared_wavefronts,
+        par.counters.shared_wavefronts
+    );
+    assert_eq!(
+        seq.counters.divergent_branches,
+        par.counters.divergent_branches
+    );
     // L2-dependent counters may drift (per-SM slices); bound it.
-    let drift = (seq.counters.l2_sector_misses as f64
-        - par.counters.l2_sector_misses as f64)
-        .abs()
+    let drift = (seq.counters.l2_sector_misses as f64 - par.counters.l2_sector_misses as f64).abs()
         / seq.counters.l2_sector_misses.max(1) as f64;
     assert!(drift < 0.35, "L2 slice drift {drift:.2} too large");
 }

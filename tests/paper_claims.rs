@@ -71,9 +71,18 @@ fn claim_performance_rises_to_3lp1_then_falls() {
     let t3 = gflops(&mut p, cfg(Strategy::ThreeLp3, IndexOrder::KMajor), ls);
     let f1 = gflops(&mut p, cfg(Strategy::FourLp1, IndexOrder::KMajor), ls);
     let f2 = gflops(&mut p, cfg(Strategy::FourLp2, IndexOrder::LMajor), ls);
-    assert!(one < two && two < t1, "rise to 3LP-1 broken: {one:.0} {two:.0} {t1:.0}");
-    assert!(t1 > t2 && t2 > t3, "3LP ordering broken: {t1:.0} {t2:.0} {t3:.0}");
-    assert!(t3 > f1 && f1 > f2, "4LP fall broken: {t3:.0} {f1:.0} {f2:.0}");
+    assert!(
+        one < two && two < t1,
+        "rise to 3LP-1 broken: {one:.0} {two:.0} {t1:.0}"
+    );
+    assert!(
+        t1 > t2 && t2 > t3,
+        "3LP ordering broken: {t1:.0} {t2:.0} {t3:.0}"
+    );
+    assert!(
+        t3 > f1 && f1 > f2,
+        "4LP fall broken: {t3:.0} {f1:.0} {f2:.0}"
+    );
 }
 
 #[test]
@@ -215,18 +224,33 @@ fn claim_syclcplx_within_3_percent() {
 /// run in release (`cargo test --release`), skipped under debug because
 /// the L = 12 simulation is slow unoptimized.
 #[test]
-#[cfg_attr(debug_assertions, ignore = "slow without optimizations; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run with --release"
+)]
 fn claim_3lp1_beats_quda_recon18_and_recon_orders() {
     use quda_ref::{Recon, StaggeredDslashTest};
     let l = 16;
     let ratio = (l as f64 / 32.0).powi(4);
     let d = DeviceSpec::a100().scaled_for_volume_ratio(ratio);
 
-    let g18 = StaggeredDslashTest::random(l, SEED, Recon::R18).run(&d).unwrap().gflops;
-    let g12 = StaggeredDslashTest::random(l, SEED, Recon::R12).run(&d).unwrap().gflops;
-    let g9 = StaggeredDslashTest::random(l, SEED, Recon::R9).run(&d).unwrap().gflops;
+    let g18 = StaggeredDslashTest::random(l, SEED, Recon::R18)
+        .run(&d)
+        .unwrap()
+        .gflops;
+    let g12 = StaggeredDslashTest::random(l, SEED, Recon::R12)
+        .run(&d)
+        .unwrap()
+        .gflops;
+    let g9 = StaggeredDslashTest::random(l, SEED, Recon::R9)
+        .run(&d)
+        .unwrap()
+        .gflops;
     // Section IV-D3: compression monotonically helps QUDA.
-    assert!(g12 > g18 && g9 > g12, "recon ordering broken: {g18:.0} {g12:.0} {g9:.0}");
+    assert!(
+        g12 > g18 && g9 > g12,
+        "recon ordering broken: {g18:.0} {g12:.0} {g9:.0}"
+    );
 
     // All 3LP-1 variants outperform QUDA recon-18, best by ~10%
     // (band widened to cover the reduced scale).
@@ -237,7 +261,10 @@ fn claim_3lp1_beats_quda_recon18_and_recon_orders() {
     for ls in base.legal_local_sizes(hv) {
         // The best variant: CUDA with the register cap (in-order queue,
         // no spills), Section IV-D4.
-        let capped = KernelConfig { spills_per_item: 0, ..base };
+        let capped = KernelConfig {
+            spills_per_item: 0,
+            ..base
+        };
         let out = run_config(&mut p, capped, ls, &d, QueueMode::InOrder).unwrap();
         best_gf = best_gf.max(out.gflops);
     }

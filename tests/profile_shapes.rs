@@ -11,7 +11,14 @@ const L: usize = 8;
 fn run(p: &mut DslashProblem<DoubleComplex>, s: Strategy, o: IndexOrder, ls: u32) -> RunOutcome {
     let ratio = (L as f64 / 32.0).powi(4);
     let device = gpu_sim::DeviceSpec::a100().scaled_for_volume_ratio(ratio);
-    run_config(p, KernelConfig::new(s, o), ls, &device, QueueMode::OutOfOrder).unwrap()
+    run_config(
+        p,
+        KernelConfig::new(s, o),
+        ls,
+        &device,
+        QueueMode::OutOfOrder,
+    )
+    .unwrap()
 }
 
 #[test]
@@ -29,7 +36,11 @@ fn local_memory_rows_match_table1_structure() {
         (Strategy::FourLp2, true),
     ] {
         let order = s.orders()[0];
-        let ls = if s == Strategy::OneLp || s == Strategy::TwoLp { 32 } else { 96 };
+        let ls = if s == Strategy::OneLp || s == Strategy::TwoLp {
+            32
+        } else {
+            96
+        };
         let out = run(&mut p, s, order, ls);
         let has_wavefronts = out.report.counters.shared_wavefronts > 0;
         assert_eq!(
@@ -49,8 +60,17 @@ fn divergent_branches_only_in_4lp() {
     // Row 13: thousands for 4LP, zero elsewhere (3LP's single-writer
     // `if (k == 0)` collapses are predicated, not divergent).
     let mut p = DslashProblem::<DoubleComplex>::random(L, 4);
-    for s in [Strategy::OneLp, Strategy::TwoLp, Strategy::ThreeLp1, Strategy::ThreeLp3] {
-        let ls = if matches!(s, Strategy::OneLp | Strategy::TwoLp) { 32 } else { 96 };
+    for s in [
+        Strategy::OneLp,
+        Strategy::TwoLp,
+        Strategy::ThreeLp1,
+        Strategy::ThreeLp3,
+    ] {
+        let ls = if matches!(s, Strategy::OneLp | Strategy::TwoLp) {
+            32
+        } else {
+            96
+        };
         let out = run(&mut p, s, s.orders()[0], ls);
         assert_eq!(
             out.report.counters.divergent_branches,
@@ -73,7 +93,11 @@ fn divergent_branches_only_in_4lp() {
 fn atomics_only_in_3lp2_and_3lp3() {
     let mut p = DslashProblem::<DoubleComplex>::random(L, 5);
     for s in Strategy::ALL {
-        let ls = if matches!(s, Strategy::OneLp | Strategy::TwoLp) { 32 } else { 96 };
+        let ls = if matches!(s, Strategy::OneLp | Strategy::TwoLp) {
+            32
+        } else {
+            96
+        };
         let out = run(&mut p, s, s.orders()[0], ls);
         let has = out.report.counters.atomic_instructions > 0;
         assert_eq!(has, s.uses_atomics(), "{}", s.name());

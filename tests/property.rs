@@ -135,8 +135,19 @@ fn phased_gauge_still_validates_on_device() {
         (Strategy::ThreeLp1, IndexOrder::KMajor, 96),
         (Strategy::FourLp2, IndexOrder::LMajor, 96),
     ] {
-        let out = run_config(&mut p, KernelConfig::new(s, o), ls, &device(), QueueMode::InOrder)
-            .unwrap();
-        assert!(out.error.within_reassociation_noise(), "{}: {:?}", s.name(), out.error);
+        let out = run_config(
+            &mut p,
+            KernelConfig::new(s, o),
+            ls,
+            &device(),
+            QueueMode::InOrder,
+        )
+        .unwrap();
+        assert!(
+            out.error.within_reassociation_noise(),
+            "{}: {:?}",
+            s.name(),
+            out.error
+        );
     }
 }

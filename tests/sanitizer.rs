@@ -1,0 +1,236 @@
+//! Sanitizer quality gates (DESIGN §7): every shipped kernel
+//! configuration certifies clean under the full sanitizer, each defect
+//! fixture is flagged with *exactly one* finding of its class under the
+//! matching single-check configuration, and the launch linter catches
+//! the misconfigurations the runtime cannot.
+
+use gpu_sim::{
+    lint_launch, DeviceSpec, FindingKind, Kernel, KernelResources, Launcher, LintKind, NdRange,
+    SanitizerConfig, SanitizerReport,
+};
+use milc_complex::DoubleComplex as Z;
+use milc_dslash::{
+    run_config_sanitized, BrokenBarrierThreeLp1, DslashProblem, KernelConfig, OobGaugeIndex,
+    PlainStoreThreeLp3, Strategy, UninitCRead,
+};
+
+const L: usize = 4;
+const HV: u64 = 128; // 4^4 / 2
+
+fn local_size_for(strategy: Strategy) -> u32 {
+    match strategy {
+        Strategy::OneLp => 64, // global size is only 128 at L = 4
+        _ => 96,
+    }
+}
+
+#[test]
+fn all_twelve_configurations_certify_clean() {
+    let device = DeviceSpec::test_small();
+    let mut problem = DslashProblem::<Z>::random(L, 41);
+    for strategy in Strategy::ALL {
+        for &order in strategy.orders() {
+            let cfg = KernelConfig::new(strategy, order);
+            let report = run_config_sanitized(
+                &mut problem,
+                cfg,
+                local_size_for(strategy),
+                &device,
+                SanitizerConfig::default(),
+            )
+            .expect("legal configuration launches under the sanitizer");
+            let san = report.sanitizer.expect("sanitized launch has a report");
+            assert!(
+                san.is_clean(),
+                "{} not clean: {:?}",
+                cfg.label(),
+                san.findings
+            );
+            assert!(san.checked_accesses > 0, "{} checked nothing", cfg.label());
+        }
+    }
+}
+
+#[test]
+fn sanitized_result_still_matches_reference() {
+    let device = DeviceSpec::test_small();
+    let mut problem = DslashProblem::<Z>::random(L, 42);
+    let cfg = KernelConfig::new(Strategy::ThreeLp1, milc_dslash::IndexOrder::KMajor);
+    run_config_sanitized(&mut problem, cfg, 96, &device, SanitizerConfig::default())
+        .expect("launches");
+    let out = problem.read_output();
+    let err = milc_dslash::compare_to_reference(&out, problem.reference());
+    assert!(
+        err.within_reassociation_noise(),
+        "sanitized run corrupted the result: {err:?}"
+    );
+}
+
+/// Launch one defect kernel under `san` against a fresh problem whose
+/// output buffer has never been written.
+fn run_defect<K: Kernel>(
+    build: impl FnOnce(milc_dslash::kernels::common::DevTables) -> K,
+    global_per_site: u64,
+    local: u32,
+    san: SanitizerConfig,
+) -> SanitizerReport {
+    let problem = DslashProblem::<Z>::random(L, 43);
+    let kernel = build(problem.tables());
+    let range = NdRange::linear(HV * global_per_site, local);
+    Launcher::new(&DeviceSpec::test_small())
+        .with_sanitizer(san)
+        .launch(&kernel, range, problem.memory())
+        .expect("defect kernels launch under tolerant lanes")
+        .sanitizer
+        .expect("sanitized launch has a report")
+}
+
+fn tables() -> milc_dslash::kernels::common::DevTables {
+    DslashProblem::<Z>::random(L, 43).tables()
+}
+
+#[test]
+fn broken_barrier_is_exactly_one_race_finding() {
+    let san = run_defect(
+        BrokenBarrierThreeLp1::new,
+        12,
+        96,
+        SanitizerConfig::racecheck_only(),
+    );
+    assert_eq!(san.findings.len(), 1, "{:?}", san.findings);
+    assert_eq!(san.findings[0].kind, FindingKind::LocalRace);
+    assert_eq!(san.count_class("race"), 1);
+    assert!(
+        san.findings[0].occurrences > 1,
+        "race repeats in every group"
+    );
+}
+
+#[test]
+fn plain_store_is_exactly_one_race_finding_on_c() {
+    let san = run_defect(
+        PlainStoreThreeLp3::new,
+        12,
+        96,
+        SanitizerConfig::racecheck_only(),
+    );
+    assert_eq!(san.findings.len(), 1, "{:?}", san.findings);
+    assert_eq!(
+        san.findings[0].kind,
+        FindingKind::GlobalRace {
+            label: "C".to_string()
+        }
+    );
+}
+
+#[test]
+fn oob_gauge_index_is_exactly_one_memcheck_finding() {
+    let san = run_defect(OobGaugeIndex::new, 1, 64, SanitizerConfig::memcheck_only());
+    assert_eq!(san.findings.len(), 1, "{:?}", san.findings);
+    assert_eq!(
+        san.findings[0].kind,
+        FindingKind::GlobalOutOfBounds {
+            label: Some("spill".to_string())
+        }
+    );
+    assert_eq!(san.count_class("memcheck"), 1);
+}
+
+#[test]
+fn uninit_c_read_is_exactly_one_uninit_finding() {
+    let san = run_defect(UninitCRead::new, 3, 96, SanitizerConfig::initcheck_only());
+    assert_eq!(san.findings.len(), 1, "{:?}", san.findings);
+    assert_eq!(
+        san.findings[0].kind,
+        FindingKind::GlobalUninitRead {
+            label: "C".to_string()
+        }
+    );
+}
+
+#[test]
+fn broken_barrier_lints_local_mem_without_barrier() {
+    let san = run_defect(
+        BrokenBarrierThreeLp1::new,
+        12,
+        96,
+        SanitizerConfig::lint_only(),
+    );
+    assert_eq!(san.findings.len(), 1, "{:?}", san.findings);
+    assert_eq!(
+        san.findings[0].kind,
+        FindingKind::Lint(LintKind::LocalMemNoBarrier)
+    );
+}
+
+#[test]
+fn linter_catches_site_block_mismatch_the_runtime_rejects() {
+    // A local size of 64 divides 3LP's global size and is warp-aligned,
+    // but splits the 12-item site blocks across group boundaries; the
+    // runtime rejects it outright, the linter names the reason.
+    let device = DeviceSpec::test_small();
+    let problem = DslashProblem::<Z>::random(L, 44);
+    let kernel = problem.make_kernel(
+        KernelConfig::new(Strategy::ThreeLp1, milc_dslash::IndexOrder::KMajor),
+        HV * 12 / 64,
+    );
+    let res = kernel.resources(64);
+    let findings = lint_launch(
+        &device,
+        &NdRange::linear(HV * 12, 64),
+        &res,
+        kernel.num_phases(),
+        kernel.local_size_multiple(),
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.kind == FindingKind::Lint(LintKind::SiteBlockMismatch)),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn shipped_kernels_declare_their_site_blocks() {
+    let problem = DslashProblem::<Z>::random(L, 45);
+    let multiple = |s, o| {
+        problem
+            .make_kernel(KernelConfig::new(s, o), 1)
+            .local_size_multiple()
+    };
+    use milc_dslash::IndexOrder::{IMajor, KMajor, LMajor};
+    assert_eq!(multiple(Strategy::OneLp, KMajor), 1);
+    assert_eq!(multiple(Strategy::TwoLp, KMajor), 1);
+    assert_eq!(multiple(Strategy::ThreeLp1, KMajor), 12);
+    assert_eq!(multiple(Strategy::ThreeLp1, IMajor), 4);
+    assert_eq!(multiple(Strategy::ThreeLp3, KMajor), 12);
+    assert_eq!(multiple(Strategy::FourLp1, KMajor), 48);
+    assert_eq!(multiple(Strategy::FourLp2, LMajor), 48);
+    // The defect fixtures, too.
+    let t = problem.tables();
+    assert_eq!(BrokenBarrierThreeLp1::new(t).local_size_multiple(), 12);
+    assert_eq!(PlainStoreThreeLp3::new(t).local_size_multiple(), 12);
+    assert_eq!(OobGaugeIndex::new(t).local_size_multiple(), 1);
+}
+
+#[test]
+fn kernel_resources() {
+    // The defect fixtures mirror the originals' local-memory shape, so
+    // occupancy and lint see the configurations the bugs live in.
+    let t = tables();
+    assert_eq!(
+        BrokenBarrierThreeLp1::new(t).resources(96),
+        KernelResources {
+            registers_per_item: 32,
+            local_mem_bytes_per_group: 96 * 16
+        }
+    );
+    assert_eq!(
+        PlainStoreThreeLp3::new(t)
+            .resources(96)
+            .local_mem_bytes_per_group,
+        0
+    );
+    assert_eq!(UninitCRead::new(t).num_phases(), 1);
+    assert_eq!(PlainStoreThreeLp3::new(t).num_phases(), 2);
+}
