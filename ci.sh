@@ -16,4 +16,10 @@ cargo test --offline -q --workspace
 echo "== sancheck (sanitizer gate) =="
 cargo run --offline --release -p milc-bench --bin sancheck
 
+echo "== tune (autotune smoke: cold sweep writes the cache, warm rerun is 100% hits) =="
+TUNE_SMOKE_CACHE="$(mktemp -d)/tunecache.json"
+cargo run --offline --release -p milc-bench --bin tune -- 4 "$TUNE_SMOKE_CACHE"
+test -s "$TUNE_SMOKE_CACHE" || { echo "tune smoke did not write the cache"; exit 1; }
+rm -rf "$(dirname "$TUNE_SMOKE_CACHE")"
+
 echo "== CI OK =="

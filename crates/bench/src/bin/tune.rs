@@ -1,0 +1,243 @@
+//! Autotune gate: materializes the persistent tune cache for the
+//! paper's twelve Table I configurations, then proves the cache works —
+//! an immediate warm rerun must be 100% cache hits (zero sweep
+//! launches), and at L = 16 the 3LP-1 k-major winner must match the
+//! best point of `results/fig6.csv` within 1%.
+//!
+//! Usage: `cargo run -p milc-bench --bin tune --release [L] [cache]`
+//! (default L = 16, cache = `results/tunecache.json`).  Writes
+//! `results/tune.md`; exits non-zero if the cold sweep fails, the warm
+//! rerun misses the cache, or the Fig. 6 cross-check fails.
+//!
+//! To reset the tuner (e.g. after changing the timing model — though a
+//! `TUNECACHE_VERSION` bump handles that automatically), delete the
+//! cache file; the next run re-sweeps everything.
+
+use gpu_sim::QueueMode;
+use milc_bench::{paper, Experiment};
+use milc_complex::DoubleComplex;
+use milc_dslash::tune::{LoadOutcome, Tuner};
+use milc_dslash::{DslashProblem, KernelConfig};
+use std::path::{Path, PathBuf};
+
+/// Best (minimum-duration) fig6.csv row of a series/order, if the file
+/// and such rows exist: `(local_size, duration_us)`.
+fn fig6_best(path: &Path, series: &str, order: &str) -> Option<(u32, f64)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut best: Option<(u32, f64)> = None;
+    for line in text.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() < 5 || f[0] != series || f[1] != order {
+            continue;
+        }
+        let (ls, us): (u32, f64) = match (f[2].parse(), f[4].parse()) {
+            (Ok(ls), Ok(us)) => (ls, us),
+            _ => continue,
+        };
+        if best.is_none_or(|(_, b)| us < b) {
+            best = Some((ls, us));
+        }
+    }
+    best
+}
+
+fn describe_load(outcome: &LoadOutcome) -> String {
+    match outcome {
+        LoadOutcome::Fresh => "no cache file (cold start)".to_string(),
+        LoadOutcome::Loaded(n) => format!("loaded {n} cached entries"),
+        LoadOutcome::Corrupt => "cache file corrupt; discarded".to_string(),
+        LoadOutcome::VersionMismatch { found } => {
+            format!("cache version {found} != current; discarded")
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let l: usize = args
+        .next()
+        .map(|a| a.parse().expect("lattice size must be an integer"))
+        .unwrap_or(16);
+    let cache_path: PathBuf = args
+        .next()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Tuner::default_path().to_path_buf());
+
+    let exp = Experiment::new(l, 2024);
+    eprintln!(
+        "tune: L = {l} on {} ({} SMs), cache {}",
+        exp.device.name,
+        exp.device.num_sms,
+        cache_path.display()
+    );
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, exp.seed);
+    let configs: Vec<KernelConfig> = paper::TABLE1
+        .iter()
+        .map(|col| KernelConfig::new(col.strategy, col.order))
+        .collect();
+
+    // -- Phase 1: tune all twelve configurations against the on-disk
+    //    cache (cold start sweeps; a pre-existing cache may hit).
+    let mut tuner = Tuner::with_cache_file(&cache_path);
+    eprintln!("cache: {}", describe_load(tuner.load_outcome()));
+    let mut failed = false;
+    let mut md = String::from("# Autotuning report (`tune`)\n\n");
+    md.push_str(&format!(
+        "Lattice L = {l}, device `{}`; cache `{}` ({}).\n\n",
+        exp.device.name,
+        cache_path.display(),
+        describe_load(tuner.load_outcome())
+    ));
+    md.push_str("## Tuned winners\n\n");
+    md.push_str(
+        "| config | winner | duration (µs) | GFLOP/s (A100-equiv) | \
+         candidates ok/rejected | waves | tail | source |\n",
+    );
+    md.push_str("|---|---:|---:|---:|---:|---:|---:|---|\n");
+
+    let mut decisions = Vec::new();
+    for &cfg in &configs {
+        match tuner.tune(&mut problem, cfg, &exp.device, QueueMode::OutOfOrder) {
+            Ok(d) => {
+                let source = if d.from_cache { "cache" } else { "sweep" };
+                let (waves, tail) = d
+                    .sweep
+                    .as_ref()
+                    .map(|s| {
+                        (
+                            format!("{:.2}", s.winner.waves),
+                            format!("{:.3}", s.winner.tail_fraction),
+                        )
+                    })
+                    .unwrap_or_else(|| ("—".into(), "—".into()));
+                eprintln!(
+                    "  {:16} -> {:4} ({:9.1} µs, {source})",
+                    cfg.label(),
+                    d.entry.local_size,
+                    d.entry.duration_us
+                );
+                md.push_str(&format!(
+                    "| {} | {} | {:.1} | {:.1} | {}/{} | {} | {} | {source} |\n",
+                    cfg.label(),
+                    d.entry.local_size,
+                    d.entry.duration_us,
+                    d.entry.gflops * exp.a100_equiv_factor(),
+                    d.entry.candidates_ok,
+                    d.entry.candidates_rejected,
+                    waves,
+                    tail,
+                ));
+                decisions.push(d);
+            }
+            Err(e) => {
+                eprintln!("  {:16} -> TUNE FAILED: {e}", cfg.label());
+                md.push_str(&format!(
+                    "| {} | — | — | — | — | — | — | FAILED: {e} |\n",
+                    cfg.label()
+                ));
+                failed = true;
+            }
+        }
+    }
+    let (cold_hits, cold_misses) = (tuner.hits(), tuner.misses());
+    eprintln!("phase 1: {cold_hits} hits, {cold_misses} misses");
+    if let Err(e) = tuner.save() {
+        eprintln!("tune: FAILED to save cache: {e}");
+        failed = true;
+    }
+
+    // -- Phase 2: a fresh tuner (new process, in effect) reloads the
+    //    file and re-tunes everything; every decision must be a cache
+    //    hit with zero sweep launches.
+    let mut warm = Tuner::with_cache_file(&cache_path);
+    let mut warm_ok = matches!(warm.load_outcome(), LoadOutcome::Loaded(_));
+    for &cfg in &configs {
+        match warm.tune(&mut problem, cfg, &exp.device, QueueMode::OutOfOrder) {
+            Ok(d) => {
+                if !d.from_cache || d.sweep.is_some() {
+                    eprintln!("  warm rerun SWEPT {}", cfg.label());
+                    warm_ok = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("  warm rerun FAILED {}: {e}", cfg.label());
+                warm_ok = false;
+            }
+        }
+    }
+    let all_hits = warm.misses() == 0 && warm.hits() == configs.len() as u64;
+    warm_ok &= all_hits;
+    failed |= !warm_ok;
+    eprintln!(
+        "phase 2 (warm rerun): {} hits, {} misses -> {}",
+        warm.hits(),
+        warm.misses(),
+        if warm_ok { "all cache hits" } else { "FAIL" }
+    );
+    md.push_str(&format!(
+        "\n## Cache behaviour\n\n\
+         * Cold pass: {cold_hits} hits, {cold_misses} misses.\n\
+         * Warm rerun (fresh tuner, reloaded file): {} hits, {} misses — **{}**.\n",
+        warm.hits(),
+        warm.misses(),
+        if warm_ok {
+            "zero sweep launches"
+        } else {
+            "FAIL: the cache did not serve every decision"
+        }
+    ));
+
+    // -- Phase 3: cross-check the tuner against the Fig. 6 sweep data
+    //    when it exists for this lattice size (fig6.csv is produced at
+    //    L = 16).
+    if l == 16 {
+        let fig6 = Path::new("results/fig6.csv");
+        match fig6_best(fig6, "3LP-1", "k-major") {
+            Some((best_ls, best_us)) => {
+                let winner = decisions
+                    .iter()
+                    .find(|d| d.entry.key.kernel == "3LP-1 k-major")
+                    .expect("3LP-1 k-major is a Table I configuration");
+                let rel = (winner.entry.duration_us - best_us).abs() / best_us;
+                let ok = rel <= 0.01;
+                failed |= !ok;
+                eprintln!(
+                    "fig6 cross-check: tuner {} @ {:.1} µs vs fig6 {} @ {:.1} µs \
+                     (|Δ| = {:.3}%) -> {}",
+                    winner.entry.local_size,
+                    winner.entry.duration_us,
+                    best_ls,
+                    best_us,
+                    rel * 100.0,
+                    if ok { "ok" } else { "FAIL" }
+                );
+                md.push_str(&format!(
+                    "\n## Fig. 6 cross-check (3LP-1 k-major)\n\n\
+                     Tuner winner {} @ {:.1} µs; best `fig6.csv` row {} @ {:.1} µs; \
+                     deviation {:.3}% — **{}**.\n",
+                    winner.entry.local_size,
+                    winner.entry.duration_us,
+                    best_ls,
+                    best_us,
+                    rel * 100.0,
+                    if ok { "within 1%" } else { "FAIL" }
+                ));
+            }
+            None => {
+                eprintln!("fig6 cross-check: results/fig6.csv not found; skipped");
+                md.push_str("\n## Fig. 6 cross-check\n\nSkipped: `results/fig6.csv` not found.\n");
+            }
+        }
+    }
+
+    md.push_str(&format!(
+        "\nResult: **{}**.\n",
+        if failed { "FAIL" } else { "PASS" }
+    ));
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/tune.md", &md).expect("write results/tune.md");
+    println!("\n{md}");
+    if failed {
+        std::process::exit(1);
+    }
+}

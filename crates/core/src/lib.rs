@@ -29,6 +29,7 @@ pub mod reference;
 pub mod runner;
 pub mod solver;
 pub mod strategy;
+pub mod tune;
 pub mod validate;
 
 pub use flops::theoretical_flops;
@@ -36,7 +37,13 @@ pub use kernels::defects::{BrokenBarrierThreeLp1, OobGaugeIndex, PlainStoreThree
 pub use operator::{recommended_config, SimulatedDslash};
 pub use problem::DslashProblem;
 pub use runner::{
-    run_config, run_config_sanitized, run_config_timed, run_config_warm, RunOutcome, TimedRuns,
+    run_config, run_config_sanitized, run_config_timed, run_config_tuned, run_config_warm,
+    run_config_warm_tuned, RunOutcome, TimedRuns,
+};
+pub use solver::{
+    solve, solve_tuned, solve_with, CgSolution, DeviceNormalOperator, NormalOp, NormalOperator,
+    TunedCgSolution,
 };
 pub use strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
+pub use tune::{TuneCache, TuneDecision, TuneEntry, TuneError, TuneKey, Tuner};
 pub use validate::{compare_to_reference, MaxError};

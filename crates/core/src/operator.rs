@@ -22,7 +22,9 @@
 use crate::problem::DslashProblem;
 use crate::strategy::{IndexOrder, KernelConfig, Strategy};
 use crate::theoretical_flops;
+use crate::tune::{TuneError, Tuner};
 use crate::validate::compare_to_reference;
+use gpu_sim::QueueMode;
 use gpu_sim::{
     DeviceSpec, DeviceState, LaunchReport, Launcher, ProfileReport, SimError, TimeBreakdown,
     TimingModel,
@@ -94,6 +96,22 @@ impl<'d, C: ComplexField> SimulatedDslash<'d, C> {
             last_report: None,
             validated: false,
         })
+    }
+
+    /// Build from an existing problem with the local size chosen by
+    /// the autotuner (consulting its cache; sweeping on a miss) instead
+    /// of defaulting to the largest legal size.
+    pub fn with_problem_tuned(
+        mut problem: DslashProblem<C>,
+        cfg: KernelConfig,
+        device: &'d DeviceSpec,
+        tuner: &mut Tuner,
+    ) -> Result<Self, TuneError> {
+        let decision = tuner.tune(&mut problem, cfg, device, QueueMode::OutOfOrder)?;
+        Ok(
+            Self::with_problem(problem, cfg, Some(decision.entry.local_size), device)
+                .expect("the tuner only selects legal local sizes"),
+        )
     }
 
     /// The configuration in use.
@@ -211,6 +229,33 @@ mod tests {
         let p = DslashProblem::<Z>::random(4, 9);
         let e = SimulatedDslash::with_problem(p, recommended_config(), Some(100), &device);
         assert!(matches!(e, Err(SimError::InvalidLocalSize { .. })));
+    }
+
+    #[test]
+    fn tuned_constructor_uses_the_tuner_winner() {
+        let device = DeviceSpec::test_small();
+        let mut tuner = Tuner::in_memory();
+        let p = DslashProblem::<Z>::random(4, 10);
+        let mut d =
+            SimulatedDslash::with_problem_tuned(p, recommended_config(), &device, &mut tuner)
+                .unwrap();
+        let key = Tuner::key_for(d.problem(), d.config(), &device);
+        let cached = tuner
+            .cache()
+            .lookup(&key)
+            .expect("tuning populated the cache");
+        assert_eq!(d.local_size(), cached.local_size);
+        assert_eq!(tuner.misses(), 1);
+        // Applies still work and validate.
+        let out = d.apply().unwrap();
+        assert_eq!(out.len(), 128);
+
+        // A second tuned build on the same key is a pure cache hit.
+        let p2 = DslashProblem::<Z>::random(4, 10);
+        let d2 = SimulatedDslash::with_problem_tuned(p2, recommended_config(), &device, &mut tuner)
+            .unwrap();
+        assert_eq!(d2.local_size(), d.local_size());
+        assert_eq!((tuner.hits(), tuner.misses()), (1, 1));
     }
 
     #[test]

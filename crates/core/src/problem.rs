@@ -234,6 +234,32 @@ impl<C: ComplexField> DslashProblem<C> {
         self.parity
     }
 
+    /// Replace the source field `B`: repack it into device memory and
+    /// invalidate the cached CPU reference.  This is what lets one
+    /// packed problem (gauge links, neighbor tables, spill scratch stay
+    /// put) serve every iteration of a solver, where only the operand
+    /// changes.
+    ///
+    /// # Panics
+    /// Panics if `b` lives on a different lattice than the problem.
+    pub fn set_source(&mut self, b: &QuarkField<C>) {
+        assert_eq!(
+            b.lattice(),
+            &self.lattice,
+            "replacement source lives on a different lattice"
+        );
+        let layout = DeviceLayout::new(&self.lattice);
+        for s in 0..self.lattice.volume() {
+            for j in 0..3 {
+                let addr = self.tables.b + layout.b_byte(s, j) as u64;
+                self.mem.write_f64(addr, b.site(s).c[j].re());
+                self.mem.write_f64(addr + 8, b.site(s).c[j].im());
+            }
+        }
+        self.b = b.clone();
+        self.reference = None;
+    }
+
     /// Device memory (pass to the launcher).
     pub fn memory(&self) -> &DeviceMemory {
         &self.mem
@@ -354,6 +380,33 @@ mod tests {
         let b = p.reference().to_vec();
         assert_eq!(a, b);
         assert!(a.iter().any(|v| v.norm_sqr() > 0.0));
+    }
+
+    #[test]
+    fn set_source_repacks_and_invalidates_reference() {
+        let mut p = DslashProblem::<Z>::random(4, 81);
+        let before = p.reference().to_vec();
+        let b2 = QuarkField::<Z>::random(p.lattice(), 999);
+        p.set_source(&b2);
+        // Device memory now holds the new source.
+        let layout = DeviceLayout::new(p.lattice());
+        for s in (0..p.lattice().volume()).step_by(13) {
+            for j in 0..3 {
+                let addr = p.tables().b + layout.b_byte(s, j) as u64;
+                assert_eq!(p.memory().read_f64(addr), b2.site(s).c[j].re);
+            }
+        }
+        // The reference is recomputed for the new source.
+        let after = p.reference().to_vec();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lattice")]
+    fn set_source_rejects_wrong_lattice() {
+        let mut p = DslashProblem::<Z>::random(4, 82);
+        let small = QuarkField::<Z>::random(&Lattice::hypercubic(2), 1);
+        p.set_source(&small);
     }
 
     #[test]

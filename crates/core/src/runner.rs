@@ -7,6 +7,7 @@
 use crate::flops::theoretical_flops;
 use crate::problem::DslashProblem;
 use crate::strategy::KernelConfig;
+use crate::tune::{TuneError, Tuner};
 use crate::validate::{compare_to_reference, MaxError};
 use gpu_sim::{
     DeviceSpec, DeviceState, LaunchReport, Launcher, Queue, QueueMode, SanitizerConfig, SimError,
@@ -159,6 +160,83 @@ pub fn run_config_warm<C: ComplexField>(
     })
 }
 
+/// A [`RunOutcome`] whose local size came from the autotuner rather
+/// than the caller.
+#[derive(Clone, Debug)]
+pub struct TunedRunOutcome {
+    /// The run at the tuned local size.
+    pub outcome: RunOutcome,
+    /// The local size the tuner selected.
+    pub local_size: u32,
+    /// Whether the tuning decision was a cache hit (no sweep launches).
+    pub from_cache: bool,
+}
+
+/// Errors from a tuned run: the tuner can fail before any run happens,
+/// and the run itself can fail.
+#[derive(Debug)]
+pub enum TunedRunError {
+    /// Autotuning produced no winner.
+    Tune(TuneError),
+    /// The tuned launch itself failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for TunedRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TunedRunError::Tune(e) => write!(f, "{e}"),
+            TunedRunError::Sim(e) => write!(f, "tuned run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TunedRunError {}
+
+/// [`run_config`], with the local size chosen by the tuner (consulting
+/// its cache first; sweeping on a miss).
+pub fn run_config_tuned<C: ComplexField>(
+    problem: &mut DslashProblem<C>,
+    cfg: KernelConfig,
+    tuner: &mut Tuner,
+    device: &DeviceSpec,
+    queue_mode: QueueMode,
+) -> Result<TunedRunOutcome, TunedRunError> {
+    let decision = tuner
+        .tune(problem, cfg, device, queue_mode)
+        .map_err(TunedRunError::Tune)?;
+    let outcome = run_config(problem, cfg, decision.entry.local_size, device, queue_mode)
+        .map_err(TunedRunError::Sim)?;
+    Ok(TunedRunOutcome {
+        outcome,
+        local_size: decision.entry.local_size,
+        from_cache: decision.from_cache,
+    })
+}
+
+/// [`run_config_warm`], with the local size chosen by the tuner — the
+/// measurement conditions the tuner itself sweeps under, so a tuned
+/// warm run reproduces the cached duration exactly (the simulator is
+/// deterministic).
+pub fn run_config_warm_tuned<C: ComplexField>(
+    problem: &mut DslashProblem<C>,
+    cfg: KernelConfig,
+    tuner: &mut Tuner,
+    device: &DeviceSpec,
+    queue_mode: QueueMode,
+) -> Result<TunedRunOutcome, TunedRunError> {
+    let decision = tuner
+        .tune(problem, cfg, device, queue_mode)
+        .map_err(TunedRunError::Tune)?;
+    let outcome = run_config_warm(problem, cfg, decision.entry.local_size, device, queue_mode)
+        .map_err(TunedRunError::Sim)?;
+    Ok(TunedRunOutcome {
+        outcome,
+        local_size: decision.entry.local_size,
+        from_cache: decision.from_cache,
+    })
+}
+
 /// The paper's measurement loop (Section IV-B): "The mean kernel
 /// runtime is determined from a sample of 10 runs ... each run comprises
 /// 100 kernel iterations and 1 warmup iteration."  The simulator is
@@ -261,6 +339,43 @@ mod tests {
         assert!((timed.mean_iteration_us - single).abs() < 1e-9);
         assert!((timed.gflops - timed.outcome.gflops).abs() < 1e-9);
         assert_eq!(timed.iterations, 100);
+    }
+
+    #[test]
+    fn tuned_warm_run_matches_cached_duration_and_hits_second_time() {
+        let mut p = DslashProblem::<Z>::random(4, 11);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let mut tuner = Tuner::in_memory();
+        let cold =
+            run_config_warm_tuned(&mut p, cfg, &mut tuner, &device, QueueMode::InOrder).unwrap();
+        assert!(!cold.from_cache);
+        assert!(cold.outcome.error.within_reassociation_noise());
+        // Deterministic simulator: the tuned run reproduces the sweep's
+        // winning duration exactly.
+        let cached = tuner
+            .cache()
+            .lookup(&Tuner::key_for(&p, cfg, &device))
+            .unwrap();
+        assert_eq!(cached.local_size, cold.local_size);
+        assert_eq!(cached.duration_us, cold.outcome.report.duration_us);
+
+        let warm =
+            run_config_warm_tuned(&mut p, cfg, &mut tuner, &device, QueueMode::InOrder).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.local_size, cold.local_size);
+    }
+
+    #[test]
+    fn tuned_cold_run_uses_the_tuned_local_size() {
+        let mut p = DslashProblem::<Z>::random(4, 12);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::TwoLp, IndexOrder::KMajor);
+        let mut tuner = Tuner::in_memory();
+        let run = run_config_tuned(&mut p, cfg, &mut tuner, &device, QueueMode::InOrder).unwrap();
+        let hv = p.lattice().half_volume() as u64;
+        assert!(cfg.local_size_legal(run.local_size, hv));
+        assert!(run.outcome.label.contains(&format!("@ {}", run.local_size)));
     }
 
     #[test]

@@ -15,9 +15,15 @@
 //! evaluated with the rayon-parallel CPU Dslash; the solver is what the
 //! `cg_solver` example runs.
 
+use crate::operator::recommended_config;
 use crate::parallel_cpu::dslash_par_into;
+use crate::problem::DslashProblem;
+use crate::strategy::KernelConfig;
+use crate::tune::{TuneError, Tuner};
+use crate::validate::compare_to_reference;
+use gpu_sim::{DeviceSpec, DeviceState, Launcher, QueueMode};
 use milc_complex::ComplexField;
-use milc_lattice::{ColorVector, GaugeField, NeighborTable, Parity, QuarkField};
+use milc_lattice::{ColorVector, GaugeField, Lattice, NeighborTable, Parity, QuarkField};
 
 /// Result of a CG solve.
 #[derive(Clone, Debug)]
@@ -30,6 +36,14 @@ pub struct CgSolution<C> {
     pub relative_residual: f64,
     /// Whether the tolerance was reached within the iteration budget.
     pub converged: bool,
+}
+
+/// Anything that can play the normal operator `A` in CG — the CPU
+/// [`NormalOperator`] or the device-backed, autotuned
+/// [`DeviceNormalOperator`].
+pub trait NormalOp<C: ComplexField> {
+    /// `out = A x`.
+    fn apply_op(&mut self, x: &[ColorVector<C>], out: &mut [ColorVector<C>]);
 }
 
 /// Apply the even-parity normal operator `A x = m^2 x - D_eo (D_oe x)`.
@@ -109,6 +123,188 @@ impl<'a, C: ComplexField> NormalOperator<'a, C> {
     }
 }
 
+impl<C: ComplexField> NormalOp<C> for NormalOperator<'_, C> {
+    fn apply_op(&mut self, x: &[ColorVector<C>], out: &mut [ColorVector<C>]) {
+        self.apply(x, out);
+    }
+}
+
+/// The normal operator evaluated on the *simulated device* at a local
+/// size chosen by the autotuner — the production shape of the paper's
+/// kernel: MILC's CG spends its time in exactly this `D_oe` / `D_eo`
+/// pair, and QUDA runs it at autotuned launch parameters.
+///
+/// Two packed problems share the gauge field: one targets the odd
+/// parity (`D_oe x`), one the even (`D_eo y`).  Their device caches
+/// stay warm across CG iterations (each problem keeps a
+/// [`DeviceState`]), and only the source vector is repacked per
+/// application ([`DslashProblem::set_source`]).  The first application
+/// of each problem validates against the CPU reference; later ones
+/// skip the host-side check, like [`SimulatedDslash`](crate::operator::SimulatedDslash).
+pub struct DeviceNormalOperator<'d, C: ComplexField> {
+    mass: f64,
+    cfg: KernelConfig,
+    local_size: u32,
+    tuned_from_cache: bool,
+    lattice: Lattice,
+    /// Parity-odd problem: computes `D_oe x`.
+    oe: DslashProblem<C>,
+    /// Parity-even problem: computes `D_eo y`.
+    eo: DslashProblem<C>,
+    state_oe: DeviceState,
+    state_eo: DeviceState,
+    launcher: Launcher<'d>,
+    full: QuarkField<C>,
+    validated: bool,
+    applications: u64,
+}
+
+impl<'d, C: ComplexField> DeviceNormalOperator<'d, C> {
+    /// Build the operator with the local size the tuner picks for
+    /// `cfg` on this lattice/device (cache hit ⇒ zero sweep launches).
+    ///
+    /// # Panics
+    /// Panics if `mass` is not positive.
+    pub fn new_tuned(
+        gauge: &GaugeField<C>,
+        mass: f64,
+        cfg: KernelConfig,
+        device: &'d DeviceSpec,
+        tuner: &mut Tuner,
+    ) -> Result<Self, TuneError> {
+        assert!(mass > 0.0, "quark mass must be positive for CG");
+        let lattice = gauge.lattice().clone();
+        // A deterministic nonzero source makes the tuning sweep's
+        // validation meaningful; every apply replaces it anyway.
+        let probe = QuarkField::random(&lattice, 0x7E57_0CA5);
+        let mut oe = DslashProblem::from_fields(gauge.clone(), probe.clone(), Parity::Odd);
+        let eo = DslashProblem::from_fields(gauge.clone(), probe, Parity::Even);
+
+        // One tune decision serves both parities: the key is (device,
+        // dims, kernel label), and both problems share all three.
+        let decision = tuner.tune(&mut oe, cfg, device, QueueMode::OutOfOrder)?;
+        Ok(Self {
+            mass,
+            cfg,
+            local_size: decision.entry.local_size,
+            tuned_from_cache: decision.from_cache,
+            lattice,
+            oe,
+            eo,
+            state_oe: DeviceState::new(device),
+            state_eo: DeviceState::new(device),
+            launcher: Launcher::new(device),
+            full: QuarkField::zeros(gauge.lattice()),
+            validated: false,
+            applications: 0,
+        })
+    }
+
+    /// The tuned work-group size CG iterations launch at.
+    pub fn local_size(&self) -> u32 {
+        self.local_size
+    }
+
+    /// Whether the tuning decision came from the cache.
+    pub fn tuned_from_cache(&self) -> bool {
+        self.tuned_from_cache
+    }
+
+    /// Device Dslash applications so far (two per operator apply).
+    pub fn applications(&self) -> u64 {
+        self.applications
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> KernelConfig {
+        self.cfg
+    }
+
+    /// Scatter a checkerboard vector onto one parity of `self.full`,
+    /// zeroing the other parity.
+    fn scatter(&mut self, v: &[ColorVector<C>], parity: Parity) {
+        for s in 0..self.lattice.volume() {
+            *self.full.site_mut(s) = ColorVector::zero();
+        }
+        for (cb, x) in v.iter().enumerate() {
+            *self
+                .full
+                .site_mut(self.lattice.site_of_checkerboard(cb, parity)) = *x;
+        }
+    }
+
+    /// Run one parity's Dslash at the tuned local size.  The launch
+    /// geometry was certified during tuning, so a failure here is a
+    /// simulator bug, not a recoverable condition.
+    fn launch(
+        problem: &mut DslashProblem<C>,
+        state: &mut DeviceState,
+        launcher: &Launcher<'d>,
+        cfg: KernelConfig,
+        local_size: u32,
+        validate: bool,
+    ) -> Vec<ColorVector<C>> {
+        problem.zero_output();
+        let range = problem.launch_range(cfg, local_size);
+        let kernel = problem.make_kernel(cfg, range.num_groups());
+        launcher
+            .launch_with_state(kernel.as_ref(), range, problem.memory(), state)
+            .expect("tuned launch geometry was certified by the sweep");
+        let out = problem.read_output();
+        if validate {
+            let tol = problem.validation_tolerance();
+            let err = compare_to_reference(&out, problem.reference());
+            assert!(
+                err.rel < tol,
+                "device Dslash diverged from the CPU reference: {err:?} (tolerance {tol:e})"
+            );
+        }
+        out
+    }
+}
+
+impl<C: ComplexField> NormalOp<C> for DeviceNormalOperator<'_, C> {
+    fn apply_op(&mut self, x: &[ColorVector<C>], out: &mut [ColorVector<C>]) {
+        let hv = self.lattice.half_volume();
+        assert_eq!(x.len(), hv, "operand length mismatch");
+        assert_eq!(out.len(), hv, "output length mismatch");
+        let validate = !self.validated;
+
+        // odd = D_oe x.
+        self.scatter(x, Parity::Even);
+        let src = self.full.clone();
+        self.oe.set_source(&src);
+        let odd = Self::launch(
+            &mut self.oe,
+            &mut self.state_oe,
+            &self.launcher,
+            self.cfg,
+            self.local_size,
+            validate,
+        );
+
+        // even = D_eo odd.
+        self.scatter(&odd, Parity::Odd);
+        let src = self.full.clone();
+        self.eo.set_source(&src);
+        let even = Self::launch(
+            &mut self.eo,
+            &mut self.state_eo,
+            &self.launcher,
+            self.cfg,
+            self.local_size,
+            validate,
+        );
+
+        self.validated = true;
+        self.applications += 2;
+        let m2 = self.mass * self.mass;
+        for cb in 0..hv {
+            out[cb] = x[cb].scale(m2) - even[cb];
+        }
+    }
+}
+
 /// Hermitian inner product of two checkerboard vectors (real part; the
 /// imaginary part vanishes for the arguments CG uses).
 fn dot<C: ComplexField>(a: &[ColorVector<C>], b: &[ColorVector<C>]) -> f64 {
@@ -119,15 +315,13 @@ fn norm<C: ComplexField>(a: &[ColorVector<C>]) -> f64 {
     a.iter().map(|v| v.norm_sqr()).sum::<f64>().sqrt()
 }
 
-/// Solve `A x = b` with plain CG.
-pub fn solve<C: ComplexField>(
-    gauge: &GaugeField<C>,
+/// Solve `A x = b` with plain CG against any [`NormalOp`].
+pub fn solve_with<C: ComplexField, Op: NormalOp<C> + ?Sized>(
+    op: &mut Op,
     b: &[ColorVector<C>],
-    mass: f64,
     tol: f64,
     max_iter: usize,
 ) -> CgSolution<C> {
-    let mut op = NormalOperator::new(gauge, mass);
     let n = b.len();
     let bnorm = norm(b).max(1e-300);
 
@@ -139,7 +333,7 @@ pub fn solve<C: ComplexField>(
 
     let mut iterations = 0;
     while iterations < max_iter && rr.sqrt() / bnorm > tol {
-        op.apply(&p, &mut ap);
+        op.apply_op(&p, &mut ap);
         let pap = dot(&p, &ap);
         assert!(
             pap > 0.0,
@@ -160,7 +354,7 @@ pub fn solve<C: ComplexField>(
     }
 
     // True residual (not the recurrence's): b - A x.
-    op.apply(&x, &mut ap);
+    op.apply_op(&x, &mut ap);
     let mut true_r = 0.0f64;
     for cb in 0..n {
         true_r += (b[cb] - ap[cb]).norm_sqr();
@@ -172,6 +366,55 @@ pub fn solve<C: ComplexField>(
         relative_residual,
         converged: relative_residual <= tol * 10.0,
     }
+}
+
+/// Solve `A x = b` with plain CG on the CPU operator.
+pub fn solve<C: ComplexField>(
+    gauge: &GaugeField<C>,
+    b: &[ColorVector<C>],
+    mass: f64,
+    tol: f64,
+    max_iter: usize,
+) -> CgSolution<C> {
+    let mut op = NormalOperator::new(gauge, mass);
+    solve_with(&mut op, b, tol, max_iter)
+}
+
+/// A CG solution produced on the simulated device at a tuned local
+/// size, with the tuning provenance attached.
+#[derive(Clone, Debug)]
+pub struct TunedCgSolution<C> {
+    /// The solution.
+    pub solution: CgSolution<C>,
+    /// The tuned work-group size every iteration launched at.
+    pub local_size: u32,
+    /// Whether the tuning decision was a cache hit (no sweep ran).
+    pub tuned_from_cache: bool,
+    /// Device Dslash applications the solve performed.
+    pub dslash_applications: u64,
+}
+
+/// Solve `A x = b` with CG, applying the operator on the simulated
+/// device at the local size the autotuner picks for the paper's
+/// recommended configuration (3LP-1 k-major).  With a warm tune cache
+/// this performs zero sweep launches before iterating.
+pub fn solve_tuned<C: ComplexField>(
+    gauge: &GaugeField<C>,
+    b: &[ColorVector<C>],
+    mass: f64,
+    tol: f64,
+    max_iter: usize,
+    device: &DeviceSpec,
+    tuner: &mut Tuner,
+) -> Result<TunedCgSolution<C>, TuneError> {
+    let mut op = DeviceNormalOperator::new_tuned(gauge, mass, recommended_config(), device, tuner)?;
+    let solution = solve_with(&mut op, b, tol, max_iter);
+    Ok(TunedCgSolution {
+        solution,
+        local_size: op.local_size(),
+        tuned_from_cache: op.tuned_from_cache(),
+        dslash_applications: op.applications(),
+    })
 }
 
 #[cfg(test)]
@@ -256,6 +499,60 @@ mod tests {
         op.apply(&sol.x, &mut ax);
         for cb in 0..b.len() {
             assert!((b[cb] - ax[cb]).norm_sqr() < 1e-16);
+        }
+    }
+
+    #[test]
+    fn device_operator_matches_cpu_operator() {
+        let lattice = Lattice::hypercubic(4);
+        let gauge = GaugeField::<Z>::random(&lattice, 21);
+        let device = DeviceSpec::test_small();
+        let mut tuner = Tuner::in_memory();
+        let mut dev_op =
+            DeviceNormalOperator::new_tuned(&gauge, 0.7, recommended_config(), &device, &mut tuner)
+                .unwrap();
+        let mut cpu_op = NormalOperator::new(&gauge, 0.7);
+        let x = random_even_vector(&lattice, 30);
+        let mut dev_out = vec![ColorVector::zero(); x.len()];
+        let mut cpu_out = vec![ColorVector::zero(); x.len()];
+        dev_op.apply_op(&x, &mut dev_out);
+        cpu_op.apply_op(&x, &mut cpu_out);
+        for cb in 0..x.len() {
+            let d = (dev_out[cb] - cpu_out[cb]).norm_sqr().sqrt();
+            let scale = cpu_out[cb].norm_sqr().sqrt().max(1.0);
+            assert!(d / scale < 1e-10, "site {cb}: {d}");
+        }
+        assert_eq!(dev_op.applications(), 2);
+    }
+
+    #[test]
+    fn tuned_solve_converges_and_reuses_the_cache() {
+        let lattice = Lattice::hypercubic(4);
+        let gauge = GaugeField::<Z>::random(&lattice, 23);
+        let b = random_even_vector(&lattice, 31);
+        let device = DeviceSpec::test_small();
+        let mut tuner = Tuner::in_memory();
+
+        let first = solve_tuned(&gauge, &b, 1.0, 1e-8, 200, &device, &mut tuner).unwrap();
+        assert!(
+            first.solution.converged,
+            "{}",
+            first.solution.relative_residual
+        );
+        assert!(!first.tuned_from_cache, "cold tuner must sweep");
+        assert!(first.dslash_applications >= 2);
+
+        // Same lattice/device/config: the second solve hits the cache.
+        let second = solve_tuned(&gauge, &b, 1.0, 1e-8, 200, &device, &mut tuner).unwrap();
+        assert!(second.tuned_from_cache, "warm tuner must not sweep");
+        assert_eq!(second.local_size, first.local_size);
+        assert_eq!(second.solution.iterations, first.solution.iterations);
+
+        // The tuned solution solves the same system the CPU solve does.
+        let cpu = solve(&gauge, &b, 1.0, 1e-8, 200);
+        for cb in 0..b.len() {
+            let d = (first.solution.x[cb] - cpu.x[cb]).norm_sqr().sqrt();
+            assert!(d < 1e-6, "site {cb}: {d}");
         }
     }
 

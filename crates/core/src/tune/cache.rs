@@ -1,0 +1,444 @@
+//! The persistent tune cache: QUDA's `tunecache.tsv` idea, JSON-shaped.
+//!
+//! QUDA persists every kernel's tuned launch parameters to a
+//! `tunecache` file keyed by device, problem geometry and kernel, so a
+//! production run never repeats a sweep another run already paid for.
+//! This module is that mechanism for the simulated device: entries are
+//! keyed by [`TuneKey`] — device-spec hash, lattice dims, kernel label,
+//! sanitizer on/off — and stored as versioned JSON (default location
+//! `results/tunecache.json`).
+//!
+//! Invalidation is structural: a key that does not match byte-for-byte
+//! misses (a changed device spec changes the hash, a changed lattice
+//! changes the dims), and a file whose `version` differs from
+//! [`TUNECACHE_VERSION`] — or that fails to parse at all — is discarded
+//! wholesale, degrading to a full sweep.  Loading never panics.
+
+use super::json::{self, Json};
+use gpu_sim::DeviceSpec;
+use milc_lattice::Lattice;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// On-disk format version; bump on any incompatible change to the entry
+/// schema or to the meaning of the modelled durations (e.g. a timing
+/// model recalibration), so stale winners are re-swept.
+pub const TUNECACHE_VERSION: u64 = 1;
+
+/// Stable FNV-1a hash of a device description.  Any field change —
+/// SM count, cache sizes, clocks — yields a different hash, so entries
+/// tuned for one device model never leak onto another (the same way
+/// QUDA keys its tunecache on the device name and geometry).
+pub fn device_spec_hash(device: &DeviceSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{device:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The identity of one tuning problem.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TuneKey {
+    /// [`device_spec_hash`] of the device model.
+    pub device_hash: u64,
+    /// Lattice dimensions.
+    pub dims: [usize; 4],
+    /// Kernel label, e.g. `3LP-1 k-major` (see
+    /// [`KernelConfig::label`](crate::strategy::KernelConfig::label)).
+    pub kernel: String,
+    /// Whether the sweep ran under the sanitizer (sanitized launches
+    /// execute in a different mode; their durations are not comparable).
+    pub sanitized: bool,
+}
+
+impl TuneKey {
+    /// Key for a kernel configuration on a lattice and device.
+    pub fn new(device: &DeviceSpec, lattice: &Lattice, kernel: &str, sanitized: bool) -> Self {
+        Self {
+            device_hash: device_spec_hash(device),
+            dims: lattice.dims(),
+            kernel: kernel.to_string(),
+            sanitized,
+        }
+    }
+
+    /// The cache index string (also human-greppable in the JSON).
+    pub fn id(&self) -> String {
+        format!(
+            "dev:{:016x}|{}x{}x{}x{}|{}|{}",
+            self.device_hash,
+            self.dims[0],
+            self.dims[1],
+            self.dims[2],
+            self.dims[3],
+            self.kernel,
+            if self.sanitized { "sanitized" } else { "plain" }
+        )
+    }
+}
+
+/// One cached tuning decision.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneEntry {
+    /// The problem this entry answers.
+    pub key: TuneKey,
+    /// The winning work-group size.
+    pub local_size: u32,
+    /// Modelled kernel duration at the winner, µs.
+    pub duration_us: f64,
+    /// GFLOP/s at the winner (theoretical FLOPs over wall time, the
+    /// paper's metric, on the *tuning* device — not A100-equivalent).
+    pub gflops: f64,
+    /// Candidates the sweep timed successfully.
+    pub candidates_ok: u32,
+    /// Candidates rejected (lint finding, launch error, or validation
+    /// mismatch) — recorded so a cache entry says how contested it was.
+    pub candidates_rejected: u32,
+}
+
+/// How a cache came off the disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// No file at the path; starting empty.
+    Fresh,
+    /// Parsed cleanly; carries the number of entries.
+    Loaded(usize),
+    /// File existed but was unreadable/corrupt; starting empty.
+    Corrupt,
+    /// File parsed but its version differs; starting empty.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u64,
+    },
+}
+
+/// An in-memory tune cache, loadable from / savable to JSON.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TuneCache {
+    entries: BTreeMap<String, TuneEntry>,
+}
+
+impl TuneCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a key; `None` is a miss.  Every field of the key
+    /// participates via [`TuneKey::id`], so any mismatch misses.
+    pub fn lookup(&self, key: &TuneKey) -> Option<&TuneEntry> {
+        self.entries.get(&key.id())
+    }
+
+    /// Insert (or replace) an entry under its key.
+    pub fn insert(&mut self, entry: TuneEntry) {
+        self.entries.insert(entry.key.id(), entry);
+    }
+
+    /// Iterate entries in stable (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &TuneEntry> {
+        self.entries.values()
+    }
+
+    /// Serialize to the versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<Json> = self
+            .entries
+            .values()
+            .map(|e| {
+                Json::Obj(vec![
+                    (
+                        "key".into(),
+                        Json::Obj(vec![
+                            (
+                                "device_hash".into(),
+                                Json::Str(format!("{:016x}", e.key.device_hash)),
+                            ),
+                            (
+                                "dims".into(),
+                                Json::Arr(
+                                    e.key.dims.iter().map(|&d| Json::Num(d as f64)).collect(),
+                                ),
+                            ),
+                            ("kernel".into(), Json::Str(e.key.kernel.clone())),
+                            ("sanitized".into(), Json::Bool(e.key.sanitized)),
+                        ]),
+                    ),
+                    ("local_size".into(), Json::Num(f64::from(e.local_size))),
+                    ("duration_us".into(), Json::Num(e.duration_us)),
+                    ("gflops".into(), Json::Num(e.gflops)),
+                    (
+                        "candidates_ok".into(),
+                        Json::Num(f64::from(e.candidates_ok)),
+                    ),
+                    (
+                        "candidates_rejected".into(),
+                        Json::Num(f64::from(e.candidates_rejected)),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".into(), Json::Num(TUNECACHE_VERSION as f64)),
+            ("entries".into(), Json::Arr(entries)),
+        ])
+        .render()
+    }
+
+    /// Parse a cache document.  Strict: a wrong version, a missing
+    /// field, or a malformed value anywhere rejects the whole document
+    /// (a partially-trusted cache is worse than a re-sweep).
+    pub fn from_json(text: &str) -> Result<Self, json::JsonError> {
+        let doc = json::parse(text)?;
+        let bad = |what: &'static str| json::JsonError { at: 0, what };
+        let version = doc
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or(bad("missing version"))?;
+        if version != TUNECACHE_VERSION {
+            return Err(bad("version mismatch"));
+        }
+        let mut cache = Self::new();
+        for e in doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or(bad("missing entries array"))?
+        {
+            let key = e.get("key").ok_or(bad("entry missing key"))?;
+            let device_hash = key
+                .get("device_hash")
+                .and_then(Json::as_str)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or(bad("bad device_hash"))?;
+            let dims_arr = key
+                .get("dims")
+                .and_then(Json::as_arr)
+                .ok_or(bad("bad dims"))?;
+            if dims_arr.len() != 4 {
+                return Err(bad("dims must have 4 extents"));
+            }
+            let mut dims = [0usize; 4];
+            for (d, v) in dims.iter_mut().zip(dims_arr) {
+                *d = v.as_u64().ok_or(bad("bad dim extent"))? as usize;
+            }
+            let entry = TuneEntry {
+                key: TuneKey {
+                    device_hash,
+                    dims,
+                    kernel: key
+                        .get("kernel")
+                        .and_then(Json::as_str)
+                        .ok_or(bad("bad kernel label"))?
+                        .to_string(),
+                    sanitized: key
+                        .get("sanitized")
+                        .and_then(Json::as_bool)
+                        .ok_or(bad("bad sanitized flag"))?,
+                },
+                local_size: e
+                    .get("local_size")
+                    .and_then(Json::as_u64)
+                    .filter(|&ls| ls >= 1 && ls <= u64::from(u32::MAX))
+                    .ok_or(bad("bad local_size"))? as u32,
+                duration_us: e
+                    .get("duration_us")
+                    .and_then(Json::as_f64)
+                    .filter(|d| d.is_finite() && *d > 0.0)
+                    .ok_or(bad("bad duration_us"))?,
+                gflops: e
+                    .get("gflops")
+                    .and_then(Json::as_f64)
+                    .filter(|g| g.is_finite() && *g >= 0.0)
+                    .ok_or(bad("bad gflops"))?,
+                candidates_ok: e
+                    .get("candidates_ok")
+                    .and_then(Json::as_u64)
+                    .ok_or(bad("bad candidates_ok"))? as u32,
+                candidates_rejected: e
+                    .get("candidates_rejected")
+                    .and_then(Json::as_u64)
+                    .ok_or(bad("bad candidates_rejected"))?
+                    as u32,
+            };
+            cache.insert(entry);
+        }
+        Ok(cache)
+    }
+
+    /// Load from a file.  Missing, unreadable, corrupt or
+    /// version-mismatched files all yield an *empty* cache (with the
+    /// outcome reported) — the tuner then simply re-sweeps.  Never
+    /// panics.
+    pub fn load(path: &Path) -> (Self, LoadOutcome) {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return (Self::new(), LoadOutcome::Fresh)
+            }
+            Err(_) => return (Self::new(), LoadOutcome::Corrupt),
+        };
+        // Distinguish a version mismatch (expected after an upgrade)
+        // from corruption (worth a warning) for reporting.
+        match Self::from_json(&text) {
+            Ok(cache) => {
+                let n = cache.len();
+                (cache, LoadOutcome::Loaded(n))
+            }
+            Err(_) => match json::parse(&text)
+                .ok()
+                .as_ref()
+                .and_then(|d| d.get("version").and_then(Json::as_u64))
+            {
+                Some(found) if found != TUNECACHE_VERSION => {
+                    (Self::new(), LoadOutcome::VersionMismatch { found })
+                }
+                _ => (Self::new(), LoadOutcome::Corrupt),
+            },
+        }
+    }
+
+    /// Save to a file, creating parent directories as needed.  The
+    /// write goes through a sibling temp file and rename, so a crash
+    /// mid-save leaves the previous cache intact rather than a torn
+    /// file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kernel: &str, ls: u32) -> TuneEntry {
+        TuneEntry {
+            key: TuneKey {
+                device_hash: 0xdead_beef_0123_4567,
+                dims: [16, 16, 16, 16],
+                kernel: kernel.to_string(),
+                sanitized: false,
+            },
+            local_size: ls,
+            duration_us: 875.1,
+            gflops: 40.3,
+            candidates_ok: 4,
+            candidates_rejected: 0,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries() {
+        let mut c = TuneCache::new();
+        c.insert(entry("3LP-1 k-major", 96));
+        c.insert(entry("1LP", 256));
+        let back = TuneCache::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn any_key_field_mismatch_misses() {
+        let mut c = TuneCache::new();
+        let e = entry("3LP-1 k-major", 96);
+        c.insert(e.clone());
+        assert!(c.lookup(&e.key).is_some());
+        for variant in [
+            TuneKey {
+                device_hash: e.key.device_hash ^ 1,
+                ..e.key.clone()
+            },
+            TuneKey {
+                dims: [8, 16, 16, 16],
+                ..e.key.clone()
+            },
+            TuneKey {
+                kernel: "3LP-1 i-major".into(),
+                ..e.key.clone()
+            },
+            TuneKey {
+                sanitized: true,
+                ..e.key.clone()
+            },
+        ] {
+            assert!(c.lookup(&variant).is_none(), "{variant:?} should miss");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_discards() {
+        let text = TuneCache::new()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 999");
+        assert!(TuneCache::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn load_of_missing_file_is_fresh() {
+        let (c, outcome) = TuneCache::load(Path::new("/nonexistent/dir/tunecache.json"));
+        assert!(c.is_empty());
+        assert_eq!(outcome, LoadOutcome::Fresh);
+    }
+
+    #[test]
+    fn load_save_roundtrip_and_corrupt_degrade() {
+        let dir = std::env::temp_dir().join("milc-tunecache-test");
+        let path = dir.join("tunecache.json");
+        let mut c = TuneCache::new();
+        c.insert(entry("2LP", 64));
+        c.save(&path).unwrap();
+        let (back, outcome) = TuneCache::load(&path);
+        assert_eq!(back, c);
+        assert_eq!(outcome, LoadOutcome::Loaded(1));
+
+        std::fs::write(&path, b"{ this is not json").unwrap();
+        let (empty, outcome) = TuneCache::load(&path);
+        assert!(empty.is_empty());
+        assert_eq!(outcome, LoadOutcome::Corrupt);
+
+        std::fs::write(&path, "{\"version\": 7, \"entries\": []}").unwrap();
+        let (empty, outcome) = TuneCache::load(&path);
+        assert!(empty.is_empty());
+        assert_eq!(outcome, LoadOutcome::VersionMismatch { found: 7 });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn device_hash_distinguishes_devices() {
+        let a = device_spec_hash(&DeviceSpec::a100());
+        let b = device_spec_hash(&DeviceSpec::test_small());
+        let mut scaled = DeviceSpec::a100();
+        scaled.num_sms = 7;
+        assert_ne!(a, b);
+        assert_ne!(a, device_spec_hash(&scaled));
+        assert_eq!(a, device_spec_hash(&DeviceSpec::a100()));
+    }
+
+    #[test]
+    fn insert_replaces_same_key() {
+        let mut c = TuneCache::new();
+        c.insert(entry("1LP", 256));
+        let mut better = entry("1LP", 512);
+        better.duration_us = 800.0;
+        c.insert(better.clone());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.iter().next().unwrap().local_size, 512);
+    }
+}

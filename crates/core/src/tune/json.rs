@@ -1,0 +1,503 @@
+//! Minimal JSON reader/writer for the tune cache.
+//!
+//! The workspace builds offline against vendored dependency shims, so
+//! there is no serde; the tune-cache format (DESIGN §5) needs only the
+//! subset implemented here: objects, arrays, strings, numbers, booleans
+//! and null.  The parser is total — malformed input of any kind is an
+//! [`Err`], never a panic — because a corrupted on-disk cache must
+//! degrade to a full re-sweep (see [`super::cache::TuneCache::load`]).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64; the cache stores u64 hashes as
+    /// hex *strings* so no integer exceeds f64's exact range).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parse failure: byte offset and a short description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl Json {
+    /// Look up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (must be exactly
+    /// representable).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serialize with 2-space indentation (stable key order — objects
+    /// keep insertion order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let pad1 = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad1);
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad1);
+                    render_string(k, out);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            at: pos,
+            what: "trailing garbage after document",
+        });
+    }
+    Ok(value)
+}
+
+/// Nesting limit: a corrupted file must not blow the host stack.
+const MAX_DEPTH: usize = 64;
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError {
+            at: *pos,
+            what: "nesting too deep",
+        });
+    }
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(JsonError {
+            at: *pos,
+            what: "unexpected end of input",
+        });
+    };
+    match c {
+        b'{' => parse_obj(b, pos, depth),
+        b'[' => parse_arr(b, pos, depth),
+        b'"' => parse_string(b, pos).map(Json::Str),
+        b't' | b'f' | b'n' => parse_keyword(b, pos),
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        _ => Err(JsonError {
+            at: *pos,
+            what: "unexpected character",
+        }),
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8, what: &'static str) -> Result<(), JsonError> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError { at: *pos, what })
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    *pos += 1; // '{'
+    let mut pairs = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(JsonError {
+                at: *pos,
+                what: "expected object key string",
+            });
+        }
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':', "expected ':' after object key")?;
+        let value = parse_value(b, pos, depth + 1)?;
+        pairs.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    what: "expected ',' or '}' in object",
+                })
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos, depth + 1)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(&b',') => *pos += 1,
+            Some(&b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    at: *pos,
+                    what: "expected ',' or ']' in array",
+                })
+            }
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    *pos += 1; // opening quote
+    let mut s = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(JsonError {
+                at: *pos,
+                what: "unterminated string",
+            });
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(s),
+            b'\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err(JsonError {
+                        at: *pos,
+                        what: "unterminated escape",
+                    });
+                };
+                *pos += 1;
+                match e {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError {
+                                at: *pos,
+                                what: "bad \\u escape",
+                            })?;
+                        *pos += 4;
+                        // Surrogates are rejected rather than paired; the
+                        // cache writer never emits them.
+                        s.push(char::from_u32(hex).ok_or(JsonError {
+                            at: *pos,
+                            what: "\\u escape is not a scalar value",
+                        })?);
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            at: *pos,
+                            what: "unknown escape",
+                        })
+                    }
+                }
+            }
+            c if c < 0x20 => {
+                return Err(JsonError {
+                    at: *pos,
+                    what: "raw control character in string",
+                })
+            }
+            _ => {
+                // Re-decode the UTF-8 sequence starting at c.
+                let start = *pos - 1;
+                let len = utf8_len(c).ok_or(JsonError {
+                    at: start,
+                    what: "invalid UTF-8 lead byte",
+                })?;
+                let slice = b.get(start..start + len).ok_or(JsonError {
+                    at: start,
+                    what: "truncated UTF-8 sequence",
+                })?;
+                let decoded = std::str::from_utf8(slice).map_err(|_| JsonError {
+                    at: start,
+                    what: "invalid UTF-8 sequence",
+                })?;
+                s.push_str(decoded);
+                *pos = start + len;
+            }
+        }
+    }
+}
+
+fn utf8_len(lead: u8) -> Option<usize> {
+    match lead {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    for (word, value) in [
+        ("true", Json::Bool(true)),
+        ("false", Json::Bool(false)),
+        ("null", Json::Null),
+    ] {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            return Ok(value);
+        }
+    }
+    Err(JsonError {
+        at: *pos,
+        what: "unknown keyword",
+    })
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|t| t.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(Json::Num)
+        .ok_or(JsonError {
+            at: start,
+            what: "malformed number",
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Json::Obj(vec![
+            ("version".into(), Json::Num(1.0)),
+            (
+                "entries".into(),
+                Json::Arr(vec![Json::Obj(vec![
+                    ("kernel".into(), Json::Str("3LP-1 k-major".into())),
+                    ("local_size".into(), Json::Num(96.0)),
+                    ("duration_us".into(), Json::Num(875.125)),
+                    ("sanitized".into(), Json::Bool(false)),
+                    ("none".into(), Json::Null),
+                ])]),
+            ),
+        ]);
+        let text = v.render();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "nul",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "-",
+            "1e999x",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Infinite numbers are rejected (cache stores finite durations).
+        assert!(parse("1e999").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(100_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse("{\"a\": 3, \"b\": [true, \"x\"], \"c\": 1.5}").unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("c").and_then(Json::as_u64), None);
+        assert_eq!(v.get("c").and_then(Json::as_f64), Some(1.5));
+        let arr = v.get("b").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_bool(), Some(true));
+        assert_eq!(arr[1].as_str(), Some("x"));
+        assert!(v.get("missing").is_none());
+    }
+}

@@ -1,0 +1,346 @@
+//! The measurement side of the tuner: run one kernel configuration over
+//! every legal local size and pick the fastest.
+//!
+//! Candidates are exactly [`KernelConfig::legal_local_sizes`] — the
+//! paper's Fig. 6 sweep.  Each candidate is first checked against the
+//! static launch linter ([`gpu_sim::lint_launch`]); the tuner must never
+//! time, let alone select, a configuration `sancheck` would flag.
+//! Surviving candidates run through [`run_config_warm`] (warm caches and
+//! an out-of-order queue, the conditions that produced
+//! `results/fig6.csv`), are validated against the CPU reference, and the
+//! minimum modelled duration wins (ties break toward the smaller local
+//! size, which wastes fewer tail resources).
+//!
+//! Unlike the minimal `quda_ref::autotune`, nothing is silently
+//! dropped: every rejected candidate is recorded with its reason, and a
+//! sweep in which *no* candidate survives is an error, not a fabricated
+//! winner.
+
+use crate::problem::DslashProblem;
+use crate::runner::run_config_warm;
+use crate::strategy::KernelConfig;
+use gpu_sim::{lint_launch, DeviceSpec, QueueMode, SimError};
+use milc_complex::ComplexField;
+
+/// Why a candidate local size was not timed / not eligible to win.
+#[derive(Clone, Debug)]
+pub enum Reject {
+    /// The static launch linter produced findings (messages recorded).
+    Lint(Vec<String>),
+    /// The simulator refused or aborted the launch.
+    Launch(SimError),
+    /// The launch ran but its output diverged from the CPU reference.
+    Validation {
+        /// Observed max relative error.
+        rel: f64,
+        /// The problem's tolerance it exceeded.
+        tol: f64,
+    },
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::Lint(msgs) => write!(f, "lint: {}", msgs.join("; ")),
+            Reject::Launch(e) => write!(f, "launch: {e}"),
+            Reject::Validation { rel, tol } => {
+                write!(f, "validation: rel error {rel:.3e} > tol {tol:.3e}")
+            }
+        }
+    }
+}
+
+/// One successfully timed candidate.
+#[derive(Clone, Debug)]
+pub struct CandidatePoint {
+    /// Local size tried.
+    pub local_size: u32,
+    /// Modelled kernel duration, µs.
+    pub duration_us: f64,
+    /// GFLOP/s the way the paper computes it (wall time incl. queue
+    /// overhead).
+    pub gflops: f64,
+    /// Achieved occupancy, 0..=1.
+    pub occupancy: f64,
+    /// Scheduling waves of the launch.
+    pub waves: f64,
+    /// Fraction of the launch spent in the partial tail wave.
+    pub tail_fraction: f64,
+}
+
+/// One candidate's fate in a sweep.
+#[derive(Clone, Debug)]
+pub enum CandidateOutcome {
+    /// Timed and eligible.
+    Timed(CandidatePoint),
+    /// Rejected, with the reason.
+    Rejected {
+        /// Local size that was rejected.
+        local_size: u32,
+        /// Why.
+        reason: Reject,
+    },
+}
+
+impl CandidateOutcome {
+    /// The candidate's local size regardless of fate.
+    pub fn local_size(&self) -> u32 {
+        match self {
+            CandidateOutcome::Timed(p) => p.local_size,
+            CandidateOutcome::Rejected { local_size, .. } => *local_size,
+        }
+    }
+}
+
+/// A completed sweep: the winner plus the full per-candidate record.
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// The winning point (minimum duration; ties → smaller local size).
+    pub winner: CandidatePoint,
+    /// Every candidate, in sweep order.
+    pub candidates: Vec<CandidateOutcome>,
+}
+
+impl SweepOutcome {
+    /// Candidates that were timed successfully.
+    pub fn timed(&self) -> impl Iterator<Item = &CandidatePoint> {
+        self.candidates.iter().filter_map(|c| match c {
+            CandidateOutcome::Timed(p) => Some(p),
+            CandidateOutcome::Rejected { .. } => None,
+        })
+    }
+
+    /// Number of rejected candidates.
+    pub fn rejected(&self) -> usize {
+        self.candidates
+            .iter()
+            .filter(|c| matches!(c, CandidateOutcome::Rejected { .. }))
+            .count()
+    }
+}
+
+/// Sweep failure: no candidate could win.
+#[derive(Clone, Debug)]
+pub enum SweepError {
+    /// The configuration has no legal local size on this lattice at all
+    /// (e.g. the global size is smaller than the smallest legal group).
+    NoCandidates {
+        /// The configuration's label.
+        kernel: String,
+    },
+    /// Candidates existed but every one was rejected; the per-candidate
+    /// reasons are preserved.
+    AllRejected {
+        /// The configuration's label.
+        kernel: String,
+        /// Every rejected candidate with its reason.
+        candidates: Vec<CandidateOutcome>,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::NoCandidates { kernel } => {
+                write!(f, "{kernel}: no legal local size to tune over")
+            }
+            SweepError::AllRejected { kernel, candidates } => {
+                write!(
+                    f,
+                    "{kernel}: all {} candidates rejected (",
+                    candidates.len()
+                )?;
+                for (i, c) in candidates.iter().enumerate() {
+                    if let CandidateOutcome::Rejected { local_size, reason } = c {
+                        if i > 0 {
+                            write!(f, "; ")?;
+                        }
+                        write!(f, "{local_size}: {reason}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// The local sizes the tuner will try for a configuration — the Fig. 6
+/// candidate set: multiples of lcm(site block, warp size) that divide
+/// the global size, up to the 1024 maximum.
+pub fn candidate_local_sizes(cfg: KernelConfig, half_volume: u64) -> Vec<u32> {
+    cfg.legal_local_sizes(half_volume)
+}
+
+/// Lint one candidate the way `sancheck` would; empty = clean.
+fn lint_candidate<C: ComplexField>(
+    problem: &DslashProblem<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+) -> Vec<String> {
+    let range = problem.launch_range(cfg, local_size);
+    let kernel = problem.make_kernel(cfg, range.num_groups());
+    lint_launch(
+        device,
+        &range,
+        &kernel.resources(local_size),
+        kernel.num_phases(),
+        kernel.local_size_multiple(),
+    )
+    .into_iter()
+    .map(|f| f.detail)
+    .collect()
+}
+
+/// Sweep a configuration over all candidate local sizes on a device.
+///
+/// Measurement conditions match the Fig. 6 harness: warm caches (one
+/// untimed warmup launch) and the requested queue semantics.
+pub fn sweep_config<C: ComplexField>(
+    problem: &mut DslashProblem<C>,
+    cfg: KernelConfig,
+    device: &DeviceSpec,
+    queue_mode: QueueMode,
+) -> Result<SweepOutcome, SweepError> {
+    let hv = problem.lattice().half_volume() as u64;
+    let candidates = candidate_local_sizes(cfg, hv);
+    if candidates.is_empty() {
+        return Err(SweepError::NoCandidates {
+            kernel: cfg.label(),
+        });
+    }
+
+    let tol = problem.validation_tolerance();
+    let mut outcomes = Vec::with_capacity(candidates.len());
+    for ls in candidates {
+        // Static gate first: never launch what the linter flags.
+        let findings = lint_candidate(problem, cfg, ls, device);
+        if !findings.is_empty() {
+            outcomes.push(CandidateOutcome::Rejected {
+                local_size: ls,
+                reason: Reject::Lint(findings),
+            });
+            continue;
+        }
+        match run_config_warm(problem, cfg, ls, device, queue_mode) {
+            Ok(out) => {
+                if out.error.rel >= tol {
+                    outcomes.push(CandidateOutcome::Rejected {
+                        local_size: ls,
+                        reason: Reject::Validation {
+                            rel: out.error.rel,
+                            tol,
+                        },
+                    });
+                } else {
+                    outcomes.push(CandidateOutcome::Timed(CandidatePoint {
+                        local_size: ls,
+                        duration_us: out.report.duration_us,
+                        gflops: out.gflops,
+                        occupancy: out.report.occupancy.achieved,
+                        waves: out.report.waves(),
+                        tail_fraction: out.report.tail_fraction(),
+                    }));
+                }
+            }
+            Err(e) => outcomes.push(CandidateOutcome::Rejected {
+                local_size: ls,
+                reason: Reject::Launch(e),
+            }),
+        }
+    }
+
+    let winner = outcomes
+        .iter()
+        .filter_map(|c| match c {
+            CandidateOutcome::Timed(p) => Some(p),
+            CandidateOutcome::Rejected { .. } => None,
+        })
+        // Strict "<" keeps the earlier (smaller) local size on ties.
+        .fold(None::<&CandidatePoint>, |best, p| match best {
+            Some(b) if b.duration_us <= p.duration_us => Some(b),
+            _ => Some(p),
+        })
+        .cloned();
+    match winner {
+        Some(winner) => Ok(SweepOutcome {
+            winner,
+            candidates: outcomes,
+        }),
+        None => Err(SweepError::AllRejected {
+            kernel: cfg.label(),
+            candidates: outcomes,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{IndexOrder, Strategy};
+    use milc_complex::DoubleComplex as Z;
+
+    #[test]
+    fn sweep_3lp1_kmajor_picks_a_paper_candidate() {
+        let mut p = DslashProblem::<Z>::random(4, 2024);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let out = sweep_config(&mut p, cfg, &device, QueueMode::InOrder).unwrap();
+        let sizes: Vec<u32> = out.candidates.iter().map(|c| c.local_size()).collect();
+        assert_eq!(sizes, vec![96, 192, 384, 768]);
+        assert!(sizes.contains(&out.winner.local_size));
+        assert_eq!(out.rejected(), 0, "all Fig. 6 candidates must be clean");
+        for p in out.timed() {
+            assert!(p.duration_us >= out.winner.duration_us);
+            assert!(p.waves > 0.0);
+            assert!((0.0..=1.0).contains(&p.tail_fraction));
+        }
+    }
+
+    #[test]
+    fn no_candidates_is_an_error_not_a_winner() {
+        // L = 2: half-volume 8 → 1LP global size 8 < the smallest
+        // warp-aligned group, so the candidate set is empty.
+        let mut p = DslashProblem::<Z>::random(2, 1);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor);
+        let err = sweep_config(&mut p, cfg, &device, QueueMode::InOrder);
+        assert!(matches!(err, Err(SweepError::NoCandidates { .. })));
+    }
+
+    #[test]
+    fn winner_tie_breaks_toward_smaller_local_size() {
+        let points = [
+            CandidateOutcome::Timed(CandidatePoint {
+                local_size: 96,
+                duration_us: 10.0,
+                gflops: 1.0,
+                occupancy: 0.5,
+                waves: 2.0,
+                tail_fraction: 0.0,
+            }),
+            CandidateOutcome::Timed(CandidatePoint {
+                local_size: 192,
+                duration_us: 10.0,
+                gflops: 1.0,
+                occupancy: 0.5,
+                waves: 2.0,
+                tail_fraction: 0.0,
+            }),
+        ];
+        let best = points
+            .iter()
+            .filter_map(|c| match c {
+                CandidateOutcome::Timed(p) => Some(p),
+                _ => None,
+            })
+            .fold(None::<&CandidatePoint>, |best, p| match best {
+                Some(b) if b.duration_us <= p.duration_us => Some(b),
+                _ => Some(p),
+            })
+            .unwrap();
+        assert_eq!(best.local_size, 96);
+    }
+}

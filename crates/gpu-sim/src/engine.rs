@@ -118,6 +118,31 @@ impl LaunchReport {
             self.counters.flops as f64 / self.duration_us / 1e3
         }
     }
+
+    /// Scheduling waves the launch needed (grid groups over resident
+    /// groups across the device) — the quantity an autotuner watches,
+    /// since a fractional last wave is pure tail.
+    pub fn waves(&self) -> f64 {
+        self.occupancy.waves
+    }
+
+    /// Fraction of the launch spent in the partial last wave: 0 for a
+    /// whole number of waves, approaching 1 when a nearly-empty tail
+    /// wave holds the device.  Candidates with equal arithmetic but a
+    /// smaller tail fraction finish sooner; exposed so tuning reports
+    /// can attribute *why* a local size won.
+    pub fn tail_fraction(&self) -> f64 {
+        let waves = self.occupancy.waves;
+        if waves <= 0.0 {
+            return 0.0;
+        }
+        let frac = waves.fract();
+        if frac == 0.0 {
+            0.0
+        } else {
+            (1.0 - frac) / waves.ceil()
+        }
+    }
 }
 
 /// Configurable kernel launcher.

@@ -17,6 +17,17 @@ pub struct TunePoint {
     pub duration_us: f64,
 }
 
+/// One candidate that could not be timed, with the launch error that
+/// rejected it — recorded instead of silently dropped, so a sweep's
+/// result always accounts for every candidate.
+#[derive(Clone, Debug)]
+pub struct TuneFailure {
+    /// Block (local) size that failed.
+    pub local_size: u32,
+    /// The launch error.
+    pub error: SimError,
+}
+
 /// Autotuning result: the winning block size and the full sweep.
 #[derive(Clone, Debug)]
 pub struct TuneResult {
@@ -24,8 +35,11 @@ pub struct TuneResult {
     pub best_local_size: u32,
     /// Duration at the winner, µs.
     pub best_us: f64,
-    /// All measurements, in candidate order.
+    /// All successful measurements, in candidate order.
     pub sweep: Vec<TunePoint>,
+    /// Candidates the launch validation or the launch itself rejected,
+    /// in candidate order.
+    pub failures: Vec<TuneFailure>,
 }
 
 /// The padded launch geometry for `global` work items at block size
@@ -35,10 +49,13 @@ pub fn padded_range(global: u64, ls: u32) -> NdRange {
     NdRange::linear(global.div_ceil(ls as u64) * ls as u64, ls)
 }
 
-/// Tune a kernel over candidate block sizes (skipping candidates the
-/// launch validation rejects, exactly as QUDA skips unlaunchable
-/// configurations).  Grids are padded to whole blocks, so every warp
-/// multiple is a candidate regardless of the problem size.
+/// Tune a kernel over candidate block sizes.  Candidates the launch
+/// validation or the launch rejects are *recorded* (QUDA skips
+/// unlaunchable configurations, but its tunecache still knows they were
+/// tried); a sweep in which no candidate launches is an error carrying
+/// the first recorded failure, never a fabricated winner.  Grids are
+/// padded to whole blocks, so every warp multiple is a candidate
+/// regardless of the problem size.
 pub fn autotune(
     kernel: &dyn Kernel,
     global: u64,
@@ -48,9 +65,14 @@ pub fn autotune(
 ) -> Result<TuneResult, SimError> {
     let launcher = Launcher::new(device);
     let mut sweep = Vec::new();
+    let mut failures = Vec::new();
     for &ls in candidates {
         let range = padded_range(global, ls);
-        if range.validate(device).is_err() {
+        if let Err(error) = range.validate(device) {
+            failures.push(TuneFailure {
+                local_size: ls,
+                error,
+            });
             continue;
         }
         match launcher.launch(kernel, range, mem) {
@@ -58,23 +80,34 @@ pub fn autotune(
                 local_size: ls,
                 duration_us: report.duration_us,
             }),
-            Err(SimError::RegistersExhausted { .. }) | Err(SimError::LocalMemTooLarge { .. }) => {
-                continue
-            }
-            Err(e) => return Err(e),
+            Err(error) => failures.push(TuneFailure {
+                local_size: ls,
+                error,
+            }),
         }
     }
-    let best = sweep
+    let best = match sweep
         .iter()
         .min_by(|a, b| a.duration_us.partial_cmp(&b.duration_us).expect("finite"))
-        .ok_or(SimError::InvalidLocalSize {
-            local: 0,
-            max: device.max_group_size,
-        })?;
+    {
+        Some(best) => best,
+        None => {
+            // Zero successes: surface why, not a made-up winner.  An
+            // empty candidate list has no failure to report, so it
+            // falls back to the invalid-local-size sentinel.
+            return Err(failures.into_iter().next().map(|f| f.error).unwrap_or(
+                SimError::InvalidLocalSize {
+                    local: 0,
+                    max: device.max_group_size,
+                },
+            ));
+        }
+    };
     Ok(TuneResult {
         best_local_size: best.local_size,
         best_us: best.duration_us,
         sweep,
+        failures,
     })
 }
 
@@ -128,6 +161,74 @@ mod tests {
         assert!(r.best_local_size.is_multiple_of(32));
         assert!(!r.sweep.is_empty());
         assert!(r.sweep.iter().all(|p| p.duration_us >= r.best_us));
+    }
+
+    /// A kernel whose register demand makes large work-groups
+    /// unlaunchable: `regs_per_item * local_size` crosses the SM
+    /// register file for every local size above the threshold.
+    struct Greedy {
+        regs: u32,
+    }
+
+    impl Kernel for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn resources(&self, _ls: u32) -> KernelResources {
+            KernelResources {
+                registers_per_item: self.regs,
+                local_mem_bytes_per_group: 0,
+            }
+        }
+        fn run_phase(&self, _p: usize, _lane: &mut Lane<'_>) {}
+    }
+
+    #[test]
+    fn all_failing_candidates_is_an_error_with_the_real_cause() {
+        let device = DeviceSpec::test_small();
+        let mem = DeviceMemory::new();
+        // Every candidate's group exceeds the register file: smallest
+        // group is 32 items, 32 * 1e6 registers >> any SM.
+        let k = Greedy { regs: 1_000_000 };
+        let err = autotune(&k, 1024, &default_candidates(&device), &device, &mem);
+        match err {
+            Err(SimError::RegistersExhausted { .. }) => {}
+            other => panic!("expected the recorded launch failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_candidate_list_is_an_error() {
+        let device = DeviceSpec::test_small();
+        let mem = DeviceMemory::new();
+        let k = Greedy { regs: 16 };
+        let err = autotune(&k, 1024, &[], &device, &mem);
+        assert!(matches!(err, Err(SimError::InvalidLocalSize { .. })));
+    }
+
+    #[test]
+    fn partial_failures_are_recorded_not_dropped() {
+        let device = DeviceSpec::test_small();
+        let mem = DeviceMemory::new();
+        // Small groups fit, large ones exhaust the register file, so
+        // the sweep has both successes and recorded failures.
+        let regs = device.registers_per_sm / 256;
+        let k = Greedy { regs };
+        let candidates = default_candidates(&device);
+        let r = autotune(&k, 1024, &candidates, &device, &mem).unwrap();
+        assert!(!r.sweep.is_empty(), "small groups must launch");
+        assert!(!r.failures.is_empty(), "large groups must be recorded");
+        assert_eq!(
+            r.sweep.len() + r.failures.len(),
+            candidates.len(),
+            "every candidate is accounted for"
+        );
+        assert!(r
+            .failures
+            .iter()
+            .all(|f| matches!(f.error, SimError::RegistersExhausted { .. })));
+        // The winner came from the successes.
+        assert!(r.sweep.iter().any(|p| p.local_size == r.best_local_size));
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod kernel;
 /// future-work extension) can share it.
 pub use milc_lattice::recon;
 
-pub use autotune::{autotune, default_candidates, padded_range, TuneResult};
+pub use autotune::{autotune, default_candidates, padded_range, TuneFailure, TuneResult};
 pub use kernel::{QudaDslashKernel, QudaTables};
 pub use recon::Recon;
 

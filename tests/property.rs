@@ -1,13 +1,18 @@
 //! Property-based tests of the *device* Dslash (not just the CPU
 //! reference): linearity of the operator, seed-independence of the
 //! architectural counters, and layout/index-space invariants, driven by
-//! proptest over small lattices.
+//! proptest over small lattices.  Plus the tune-cache invariants: the
+//! JSON roundtrip, key-mismatch-always-misses, corruption degrading to
+//! a full sweep instead of a panic, and `padded_range` divisibility.
 
 use gpu_sim::{DeviceSpec, QueueMode};
 use milc_complex::{ComplexField, DoubleComplex};
+use milc_dslash::tune::{TuneCache, TuneEntry, TuneKey};
 use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
 use milc_lattice::{ColorVector, GaugeField, Lattice, Parity, QuarkField};
+use proptest::collection;
 use proptest::prelude::*;
+use quda_ref::padded_range;
 
 type Z = DoubleComplex;
 
@@ -119,6 +124,138 @@ proptest! {
             // the local-memory reduction read out of bounds).
             prop_assert!(result.is_err(), "illegal {ls} launched");
         }
+    }
+}
+
+/// The kernel labels the tuner actually caches, indexed for proptest.
+const KERNEL_LABELS: [&str; 4] = ["1LP", "3LP-1 k-major", "3LP-1 i-major", "4LP-2 l-major"];
+
+/// Deterministically build a cache entry from generated scalars.
+fn make_entry(
+    device_hash: u64,
+    dim: usize,
+    kernel_idx: usize,
+    sanitized: bool,
+    local_size: u32,
+    duration_us: f64,
+) -> TuneEntry {
+    TuneEntry {
+        key: TuneKey {
+            device_hash,
+            dims: [dim, dim, dim, dim],
+            kernel: KERNEL_LABELS[kernel_idx % KERNEL_LABELS.len()].to_string(),
+            sanitized,
+        },
+        local_size,
+        duration_us,
+        gflops: 1e6 / duration_us,
+        candidates_ok: 4,
+        candidates_rejected: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Serialize → parse is the identity on the tune cache, for any
+    /// generated population of entries.
+    #[test]
+    fn tune_cache_roundtrips(
+        hash in 0u64..u64::MAX,
+        dims in collection::vec(2usize..64, 1..4),
+        sanitized_bits in 0u8..4,
+        ls in 1u32..=1024,
+        us in 0.001f64..1e7,
+    ) {
+        let mut cache = TuneCache::new();
+        for (i, &dim) in dims.iter().enumerate() {
+            cache.insert(make_entry(
+                hash.wrapping_add(i as u64),
+                dim,
+                i,
+                (sanitized_bits >> (i % 2)) & 1 == 1,
+                ls,
+                us + i as f64,
+            ));
+        }
+        let back = TuneCache::from_json(&cache.to_json());
+        prop_assert!(back.is_ok(), "{back:?}");
+        prop_assert_eq!(back.unwrap(), cache);
+    }
+
+    /// Any single-field difference in the key misses: device hash,
+    /// lattice dims, kernel label, sanitizer flag all participate.
+    #[test]
+    fn tune_key_mismatch_always_misses(
+        hash in 0u64..u64::MAX,
+        dim in 2usize..64,
+        kernel_idx in 0usize..4,
+        ls in 1u32..=1024,
+        field in 0u8..4,
+    ) {
+        let entry = make_entry(hash, dim, kernel_idx, false, ls, 10.0);
+        let mut cache = TuneCache::new();
+        cache.insert(entry.clone());
+        prop_assert!(cache.lookup(&entry.key).is_some());
+        let mut probe = entry.key.clone();
+        match field {
+            0 => probe.device_hash ^= 1,
+            1 => probe.dims[dim % 4] += 1,
+            2 => probe.kernel = KERNEL_LABELS[(kernel_idx + 1) % KERNEL_LABELS.len()].to_string(),
+            _ => probe.sanitized = !probe.sanitized,
+        }
+        prop_assert!(cache.lookup(&probe).is_none(), "{probe:?} unexpectedly hit");
+    }
+
+    /// A corrupted cache *file* of arbitrary bytes never panics: load
+    /// degrades to an empty cache (→ the tuner re-sweeps).
+    #[test]
+    fn corrupted_cache_bytes_degrade_to_empty(
+        bytes in collection::vec(0u8..=255, 0..512),
+        tag in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir().join("milc-tunecache-prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("fuzz-{}-{tag:016x}.json", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let (cache, _outcome) = TuneCache::load(&path);
+        // Arbitrary bytes virtually never form a valid versioned cache;
+        // the property that matters is: no panic, and a non-document
+        // yields an empty cache rather than garbage entries.
+        if TuneCache::from_json(&String::from_utf8_lossy(&bytes)).is_err() {
+            prop_assert!(cache.is_empty());
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Truncating a *valid* cache document anywhere never panics, and
+    /// either parses to some cache or errors cleanly.
+    #[test]
+    fn truncated_cache_json_never_panics(cut_permille in 0usize..1000) {
+        let mut cache = TuneCache::new();
+        cache.insert(make_entry(0xABCD, 16, 1, false, 96, 875.1));
+        cache.insert(make_entry(0xABCD, 16, 2, true, 64, 950.7));
+        let text = cache.to_json();
+        let cut = text.len() * cut_permille / 1000;
+        // Cut at a char boundary (the document is ASCII, but be safe).
+        let mut cut = cut.min(text.len());
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let _ = TuneCache::from_json(&text[..cut]); // must not panic
+    }
+
+    /// QUDA-style padded grids: the padded global size is always a
+    /// whole multiple of the local size, never smaller than the
+    /// requested global size, and overshoots by less than one group.
+    #[test]
+    fn padded_range_is_whole_groups(global in 1u64..1_000_000_000, ls in 1u32..=1024) {
+        let r = padded_range(global, ls);
+        prop_assert_eq!(r.local, ls);
+        prop_assert_eq!(r.global % ls as u64, 0);
+        prop_assert!(r.global >= global);
+        prop_assert!(r.global - global < ls as u64);
+        prop_assert_eq!(r.num_groups(), global.div_ceil(ls as u64));
     }
 }
 

@@ -214,6 +214,69 @@ fn shipped_kernels_declare_their_site_blocks() {
 }
 
 #[test]
+fn every_tuner_candidate_passes_the_launch_linter() {
+    // The tuner must only propose configurations `sancheck` would
+    // certify: every candidate local size it sweeps, for every Table I
+    // configuration, produces zero findings from the static launch
+    // linter — the same `Launcher::with_sanitizer` gate of PR 1.
+    let device = DeviceSpec::test_small();
+    let problem = DslashProblem::<Z>::random(L, 46);
+    for strategy in Strategy::ALL {
+        for &order in strategy.orders() {
+            let cfg = KernelConfig::new(strategy, order);
+            let candidates = milc_dslash::tune::candidate_local_sizes(cfg, HV);
+            assert!(
+                !candidates.is_empty(),
+                "{} has no candidates at L = {L}",
+                cfg.label()
+            );
+            for ls in candidates {
+                let range = NdRange::linear(cfg.global_size(HV), ls);
+                let kernel = problem.make_kernel(cfg, range.num_groups());
+                let findings = lint_launch(
+                    &device,
+                    &range,
+                    &kernel.resources(ls),
+                    kernel.num_phases(),
+                    kernel.local_size_multiple(),
+                );
+                assert!(
+                    findings.is_empty(),
+                    "tuner candidate {} @ {ls} has lint findings: {findings:?}",
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tuner_candidates_are_pinned_per_strategy() {
+    // The candidate sets at L = 4 (half-volume 128), frozen: the
+    // k-major sets follow the paper's multiples-of-96 rule (3LP) and
+    // the 4LP multiples-of-96 = lcm(48, 32) rule; i-major admits every
+    // warp multiple that divides the global size.  A change here means
+    // the divisibility rules themselves changed — which is a paper
+    //-conformance bug, not a tuning detail.
+    use milc_dslash::tune::candidate_local_sizes;
+    use milc_dslash::IndexOrder::{IMajor, KMajor, LMajor};
+    let c = |s, o| candidate_local_sizes(KernelConfig::new(s, o), HV);
+    assert_eq!(c(Strategy::OneLp, KMajor), vec![32, 64, 128]);
+    assert_eq!(c(Strategy::TwoLp, KMajor), vec![32, 64, 96, 128, 192, 384]);
+    assert_eq!(c(Strategy::ThreeLp1, KMajor), vec![96, 192, 384, 768]);
+    assert_eq!(
+        c(Strategy::ThreeLp1, IMajor),
+        vec![32, 64, 96, 128, 192, 256, 384, 512, 768]
+    );
+    assert_eq!(c(Strategy::ThreeLp2, KMajor), vec![96, 192, 384, 768]);
+    assert_eq!(c(Strategy::ThreeLp3, KMajor), vec![96, 192, 384, 768]);
+    assert_eq!(c(Strategy::FourLp1, KMajor), vec![96, 192, 384, 768]);
+    assert_eq!(c(Strategy::FourLp1, IMajor), vec![96, 192, 384, 768]);
+    assert_eq!(c(Strategy::FourLp2, LMajor), vec![96, 192, 384, 768]);
+    assert_eq!(c(Strategy::FourLp2, IMajor), vec![96, 192, 384, 768]);
+}
+
+#[test]
 fn kernel_resources() {
     // The defect fixtures mirror the originals' local-memory shape, so
     // occupancy and lint see the configurations the bugs live in.
