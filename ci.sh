@@ -22,4 +22,18 @@ cargo run --offline --release -p milc-bench --bin tune -- 4 "$TUNE_SMOKE_CACHE"
 test -s "$TUNE_SMOKE_CACHE" || { echo "tune smoke did not write the cache"; exit 1; }
 rm -rf "$(dirname "$TUNE_SMOKE_CACHE")"
 
+echo "== table1 --trace (timeline + metrics artifacts) =="
+cargo run --offline --release -p milc-bench --bin table1 -- 16 --trace results/table1.trace.json
+test -s results/table1.trace.json || { echo "table1 did not write the trace"; exit 1; }
+test -s results/metrics.txt || { echo "table1 did not write the metrics snapshot"; exit 1; }
+
+echo "== perfdiff (perf-regression gate, threshold +10%; selftest proves the FAIL path) =="
+cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --selftest
+
+echo "== collecting artifacts =="
+ARTIFACTS_DIR="${ARTIFACTS_DIR:-target/ci-artifacts}"
+mkdir -p "$ARTIFACTS_DIR"
+cp results/*.trace.json results/metrics.txt "$ARTIFACTS_DIR"/
+echo "artifacts in $ARTIFACTS_DIR: $(ls "$ARTIFACTS_DIR" | tr '\n' ' ')"
+
 echo "== CI OK =="

@@ -1,0 +1,134 @@
+//! The perf-regression gate: re-simulate the Table I configurations
+//! (and optionally the full Fig. 6 sweep) and compare modelled
+//! durations against the committed baselines in `results/`.  Exits 1
+//! when any config regresses by more than 10% or loses coverage.
+//!
+//! Usage: `cargo run -p milc-bench --release --bin perfdiff -- [L]
+//! [--fig6] [--selftest] [--baseline PATH]`
+//!
+//! - default L = 16 matches the committed `results/table1.csv`
+//!   baseline (the simulator is deterministic, so an unchanged tree
+//!   diffs at ~0%);
+//! - `--fig6` additionally gates every row of `results/fig6.csv`
+//!   (the full sweep, several minutes);
+//! - `--selftest` then re-diffs with fresh durations inflated 1.2x and
+//!   verifies the gate trips — proof the FAIL path works, without a
+//!   second simulation;
+//! - `PERFDIFF_INFLATE=<factor>` multiplies fresh durations before the
+//!   main comparison (for demonstrating a seeded slowdown end to end).
+
+use milc_bench::perfdiff::{
+    diff, parse_fig6_baseline, parse_table1_baseline, BaselineEntry, REGRESSION_THRESHOLD,
+};
+use milc_bench::{
+    extension_compressed_3lp1, fig6_strategies, fig6_variants, table1_outcomes, Experiment,
+};
+use milc_complex::{Cplx, DoubleComplex};
+use milc_dslash::DslashProblem;
+
+fn main() {
+    let mut l: usize = 16;
+    let mut with_fig6 = false;
+    let mut selftest = false;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fig6" => with_fig6 = true,
+            "--selftest" => selftest = true,
+            "--baseline" => {
+                baseline_path = Some(args.next().expect("--baseline needs a path"));
+            }
+            other => l = other.parse().expect("lattice size must be an integer"),
+        }
+    }
+    let inflate: f64 = std::env::var("PERFDIFF_INFLATE")
+        .ok()
+        .map(|v| v.parse().expect("PERFDIFF_INFLATE must be a number"))
+        .unwrap_or(1.0);
+
+    let exp = Experiment::new(l, 2024);
+    eprintln!(
+        "perfdiff: L = {l} on {} ({} SMs), threshold +{:.0}%",
+        exp.device.name,
+        exp.device.num_sms,
+        REGRESSION_THRESHOLD * 100.0
+    );
+    if (inflate - 1.0).abs() > 1e-12 {
+        eprintln!("perfdiff: PERFDIFF_INFLATE = {inflate} applied to fresh durations");
+    }
+
+    // Baseline: the committed CSVs (or an explicit override).
+    let table1_path = baseline_path
+        .clone()
+        .unwrap_or_else(|| "results/table1.csv".to_string());
+    let table1_csv = std::fs::read_to_string(&table1_path)
+        .unwrap_or_else(|e| panic!("read baseline {table1_path}: {e}"));
+    let mut baseline = parse_table1_baseline(&table1_csv)
+        .unwrap_or_else(|e| panic!("parse baseline {table1_path}: {e}"));
+
+    // Fresh run: the same twelve Table I configurations.
+    eprintln!("packing problem ...");
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, exp.seed);
+    eprintln!("re-simulating 12 Table I configurations ...");
+    let mut fresh: Vec<BaselineEntry> = table1_outcomes(&exp, &mut problem)
+        .into_iter()
+        .map(|(config, out)| BaselineEntry {
+            config,
+            duration_us: out.report.duration_us * inflate,
+        })
+        .collect();
+
+    if with_fig6 {
+        let fig6_path = "results/fig6.csv";
+        let fig6_csv = std::fs::read_to_string(fig6_path)
+            .unwrap_or_else(|e| panic!("read baseline {fig6_path}: {e}"));
+        baseline.extend(
+            parse_fig6_baseline(&fig6_csv)
+                .unwrap_or_else(|e| panic!("parse baseline {fig6_path}: {e}")),
+        );
+        eprintln!("re-simulating the Fig. 6 sweep (this takes a while) ...");
+        let mut problem_cplx = DslashProblem::<Cplx>::random(l, exp.seed);
+        let mut rows = fig6_strategies(&exp, &mut problem);
+        rows.extend(fig6_variants(&exp, &mut problem, &mut problem_cplx));
+        rows.extend(extension_compressed_3lp1(&exp));
+        fresh.extend(rows.into_iter().map(|r| BaselineEntry {
+            config: format!(
+                "{} [{}] @ {}",
+                r.series,
+                r.order.map_or("-", |o| o.name()),
+                r.local_size
+            ),
+            duration_us: r.duration_us * inflate,
+        }));
+    }
+
+    let report = diff(&baseline, &fresh, REGRESSION_THRESHOLD);
+    println!("{}", report.render());
+
+    if selftest {
+        let slowed: Vec<BaselineEntry> = fresh
+            .iter()
+            .map(|f| BaselineEntry {
+                config: f.config.clone(),
+                duration_us: f.duration_us * 1.2,
+            })
+            .collect();
+        let tripped = diff(&baseline, &slowed, REGRESSION_THRESHOLD);
+        assert!(
+            tripped.regressed(),
+            "selftest: a 1.2x slowdown must trip the gate"
+        );
+        println!(
+            "selftest: 1.2x inflation regresses {}/{} configs — gate verified",
+            tripped.rows.iter().filter(|r| r.regressed).count(),
+            tripped.rows.len()
+        );
+    }
+
+    if report.regressed() {
+        eprintln!("perfdiff: FAIL — modelled-time regression beyond threshold");
+        std::process::exit(1);
+    }
+    eprintln!("perfdiff: PASS");
+}

@@ -51,6 +51,7 @@ fn main() {
     );
 
     let mut md = String::from("# Sanitizer report (`sancheck`)\n\n");
+    md.push_str(&milc_bench::provenance::header_md(&exp.device));
     md.push_str(&format!(
         "Lattice L = {l}, device `{}`; full sanitizer \
          (racecheck + memcheck + initcheck + lint).\n\n",

@@ -82,6 +82,7 @@ fn main() {
     eprintln!("cache: {}", describe_load(tuner.load_outcome()));
     let mut failed = false;
     let mut md = String::from("# Autotuning report (`tune`)\n\n");
+    md.push_str(&milc_bench::provenance::header_md(&exp.device));
     md.push_str(&format!(
         "Lattice L = {l}, device `{}`; cache `{}` ({}).\n\n",
         exp.device.name,

@@ -3,7 +3,7 @@
 
 use crate::paper;
 use gpu_sim::timing::CalibrationSample;
-use gpu_sim::{DeviceSpec, ProfileReport, QueueMode};
+use gpu_sim::{Counters, DeviceSpec, LaunchReport, ProfileReport, QueueMode};
 use milc_complex::{ComplexField, Cplx, DoubleComplex};
 use milc_dslash::{run_config_warm, DslashProblem, IndexOrder, KernelConfig, RunOutcome, Strategy};
 use quda_ref::{Recon, StaggeredDslashTest};
@@ -275,12 +275,14 @@ pub fn quda_recons(exp: &Experiment) -> Vec<(Recon, f64, u32)> {
         .collect()
 }
 
-/// Run the twelve Table I configurations and produce profile reports in
-/// the paper's column order.
-pub fn table1_profiles(
+/// Run the twelve Table I configurations, returning each column's
+/// short label (`3LP-1 k` …) with the full run outcome — the trace
+/// and perf-regression tooling need the raw reports, not just the
+/// profile rows.
+pub fn table1_outcomes(
     exp: &Experiment,
     problem: &mut DslashProblem<DoubleComplex>,
-) -> Vec<ProfileReport> {
+) -> Vec<(String, RunOutcome)> {
     paper::TABLE1
         .iter()
         .map(|col| {
@@ -298,9 +300,32 @@ pub fn table1_profiles(
                 Strategy::OneLp | Strategy::TwoLp => col.strategy.name().to_string(),
                 _ => format!("{} {}", col.strategy.name(), short_order(col.order)),
             };
-            ProfileReport::from_launch(label, &out.report, &exp.device)
+            (label, out)
         })
         .collect()
+}
+
+/// Run the twelve Table I configurations and produce profile reports in
+/// the paper's column order.
+pub fn table1_profiles(
+    exp: &Experiment,
+    problem: &mut DslashProblem<DoubleComplex>,
+) -> Vec<ProfileReport> {
+    table1_outcomes(exp, problem)
+        .into_iter()
+        .map(|(label, out)| ProfileReport::from_launch(label, &out.report, &exp.device))
+        .collect()
+}
+
+/// Aggregate the counters of a multi-launch run into one saturating
+/// total ([`Counters::merge`]) — run-level throughput and traffic
+/// numbers for traces and metrics snapshots.
+pub fn aggregate_counters<'a>(reports: impl IntoIterator<Item = &'a LaunchReport>) -> Counters {
+    let mut total = Counters::default();
+    for r in reports {
+        total.merge(&r.counters);
+    }
+    total
 }
 
 fn short_order(order: IndexOrder) -> &'static str {

@@ -16,8 +16,11 @@
 
 pub mod harness;
 pub mod paper;
+pub mod perfdiff;
+pub mod provenance;
 
 pub use harness::{
-    best_of, best_of_order, calibration_samples, extension_compressed_3lp1, fig6_strategies,
-    fig6_variants, quda_recons, rows_to_csv, table1_profiles, Experiment, SweepRow,
+    aggregate_counters, best_of, best_of_order, calibration_samples, extension_compressed_3lp1,
+    fig6_strategies, fig6_variants, quda_recons, rows_to_csv, table1_outcomes, table1_profiles,
+    Experiment, SweepRow,
 };

@@ -1,0 +1,285 @@
+//! The perf-regression gate: compare a fresh simulated run against the
+//! committed baselines in `results/` and fail on modelled-time
+//! regressions.
+//!
+//! The simulator is deterministic, so on an unchanged tree a fresh run
+//! reproduces the committed `results/table1.csv` durations to rounding
+//! (the CSV keeps one decimal) and the diff is ~0%.  Any code change
+//! that slows a modelled configuration by more than
+//! [`REGRESSION_THRESHOLD`] trips the gate — the `perfdiff` bin exits
+//! non-zero and `ci.sh` stops.
+
+/// Maximum tolerated per-config modelled-time regression (fraction).
+pub const REGRESSION_THRESHOLD: f64 = 0.10;
+
+/// One baseline point: a config label and its modelled duration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineEntry {
+    /// Config label (Table I short label, or `series @ local` for
+    /// Fig. 6 rows).
+    pub config: String,
+    /// Modelled kernel duration, µs.
+    pub duration_us: f64,
+}
+
+/// Parse the `sim_duration_us` column of a committed
+/// `results/table1.csv` (header `config,paper_duration_us,sim_duration_us,...`).
+pub fn parse_table1_baseline(csv: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or("empty table1 csv")?;
+    let cols: Vec<&str> = header.split(',').collect();
+    let dur_col = cols
+        .iter()
+        .position(|c| *c == "sim_duration_us")
+        .ok_or("table1 csv has no sim_duration_us column")?;
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() <= dur_col {
+            return Err(format!("table1 csv row {}: too few columns", i + 2));
+        }
+        let duration_us: f64 = f[dur_col]
+            .parse()
+            .map_err(|_| format!("table1 csv row {}: bad duration {:?}", i + 2, f[dur_col]))?;
+        out.push(BaselineEntry {
+            config: f[0].to_string(),
+            duration_us,
+        });
+    }
+    if out.is_empty() {
+        return Err("table1 csv has no data rows".to_string());
+    }
+    Ok(out)
+}
+
+/// Parse a committed `results/fig6.csv`
+/// (`series,order,local_size,gflops...,duration_us,...`) into baseline
+/// entries keyed `series [order] @ local_size`.
+pub fn parse_fig6_baseline(csv: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or("empty fig6 csv")?;
+    let cols: Vec<&str> = header.split(',').collect();
+    let dur_col = cols
+        .iter()
+        .position(|c| *c == "duration_us")
+        .ok_or("fig6 csv has no duration_us column")?;
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() <= dur_col {
+            return Err(format!("fig6 csv row {}: too few columns", i + 2));
+        }
+        if f[dur_col].is_empty() {
+            // QUDA reference rows carry GFLOP/s only, no modelled
+            // duration — nothing to gate.
+            continue;
+        }
+        let duration_us: f64 = f[dur_col]
+            .parse()
+            .map_err(|_| format!("fig6 csv row {}: bad duration {:?}", i + 2, f[dur_col]))?;
+        out.push(BaselineEntry {
+            config: format!("{} [{}] @ {}", f[0], f[1], f[2]),
+            duration_us,
+        });
+    }
+    if out.is_empty() {
+        return Err("fig6 csv has no data rows".to_string());
+    }
+    Ok(out)
+}
+
+/// One compared config.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Config label.
+    pub config: String,
+    /// Committed duration, µs.
+    pub baseline_us: f64,
+    /// Freshly simulated duration, µs.
+    pub fresh_us: f64,
+    /// `(fresh - baseline) / baseline`, percent (positive = slower).
+    pub delta_pct: f64,
+    /// Whether the row trips the threshold.
+    pub regressed: bool,
+}
+
+/// The comparison result.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Per-config rows, baseline order.
+    pub rows: Vec<DiffRow>,
+    /// Baseline configs the fresh run did not produce — coverage loss,
+    /// treated as failure.
+    pub missing_fresh: Vec<String>,
+    /// Fresh configs with no committed baseline (new configs; warned,
+    /// not failed — commit a new baseline to start gating them).
+    pub missing_baseline: Vec<String>,
+    /// The threshold the rows were judged against (fraction).
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Whether the gate fails: any regressed row or lost coverage.
+    pub fn regressed(&self) -> bool {
+        !self.missing_fresh.is_empty() || self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// Human-readable table plus verdict.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:22} {:>12} {:>12} {:>9}  verdict\n",
+            "config", "baseline µs", "fresh µs", "Δ%"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:22} {:>12.1} {:>12.1} {:>+9.2}  {}\n",
+                r.config,
+                r.baseline_us,
+                r.fresh_us,
+                r.delta_pct,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for c in &self.missing_fresh {
+            out.push_str(&format!("{c:22} missing from the fresh run — FAIL\n"));
+        }
+        for c in &self.missing_baseline {
+            out.push_str(&format!("{c:22} has no committed baseline (warn)\n"));
+        }
+        out.push_str(&format!(
+            "verdict: {} (threshold +{:.0}%)\n",
+            if self.regressed() { "FAIL" } else { "PASS" },
+            self.threshold * 100.0
+        ));
+        out
+    }
+}
+
+/// Compare fresh durations against the baseline at `threshold`.
+pub fn diff(baseline: &[BaselineEntry], fresh: &[BaselineEntry], threshold: f64) -> DiffReport {
+    let mut rows = Vec::new();
+    let mut missing_fresh = Vec::new();
+    for b in baseline {
+        match fresh.iter().find(|f| f.config == b.config) {
+            Some(f) => {
+                let delta = (f.duration_us - b.duration_us) / b.duration_us;
+                rows.push(DiffRow {
+                    config: b.config.clone(),
+                    baseline_us: b.duration_us,
+                    fresh_us: f.duration_us,
+                    delta_pct: delta * 100.0,
+                    regressed: delta > threshold,
+                });
+            }
+            None => missing_fresh.push(b.config.clone()),
+        }
+    }
+    let missing_baseline = fresh
+        .iter()
+        .filter(|f| !baseline.iter().any(|b| b.config == f.config))
+        .map(|f| f.config.clone())
+        .collect();
+    DiffReport {
+        rows,
+        missing_fresh,
+        missing_baseline,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(pairs: &[(&str, f64)]) -> Vec<BaselineEntry> {
+        pairs
+            .iter()
+            .map(|(c, d)| BaselineEntry {
+                config: c.to_string(),
+                duration_us: *d,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unchanged_run_passes() {
+        let base = entries(&[("1LP", 1900.0), ("3LP-1 k", 920.0)]);
+        let report = diff(&base, &base.clone(), REGRESSION_THRESHOLD);
+        assert!(!report.regressed());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.delta_pct.abs() < 1e-12));
+    }
+
+    #[test]
+    fn seeded_twenty_percent_slowdown_fails() {
+        let base = entries(&[("1LP", 1900.0), ("3LP-1 k", 920.0)]);
+        let slow: Vec<BaselineEntry> = base
+            .iter()
+            .map(|b| BaselineEntry {
+                config: b.config.clone(),
+                duration_us: b.duration_us * 1.2,
+            })
+            .collect();
+        let report = diff(&base, &slow, REGRESSION_THRESHOLD);
+        assert!(report.regressed());
+        assert!(report.rows.iter().all(|r| r.regressed));
+        assert!(report.render().contains("REGRESSED"));
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn speedups_and_small_noise_pass() {
+        let base = entries(&[("a", 100.0)]);
+        let fresh = entries(&[("a", 95.0)]);
+        assert!(!diff(&base, &fresh, REGRESSION_THRESHOLD).regressed());
+        let fresh = entries(&[("a", 109.9)]);
+        assert!(!diff(&base, &fresh, REGRESSION_THRESHOLD).regressed());
+        let fresh = entries(&[("a", 110.1)]);
+        assert!(diff(&base, &fresh, REGRESSION_THRESHOLD).regressed());
+    }
+
+    #[test]
+    fn lost_coverage_fails_new_configs_warn() {
+        let base = entries(&[("a", 100.0), ("b", 100.0)]);
+        let fresh = entries(&[("a", 100.0), ("c", 50.0)]);
+        let report = diff(&base, &fresh, REGRESSION_THRESHOLD);
+        assert_eq!(report.missing_fresh, vec!["b"]);
+        assert_eq!(report.missing_baseline, vec!["c"]);
+        assert!(report.regressed(), "lost coverage must fail the gate");
+    }
+
+    #[test]
+    fn parses_the_committed_table1_format() {
+        let csv = "config,paper_duration_us,sim_duration_us,extra\n\
+                   1LP,1868,1890.1,0\n\
+                   3LP-1 k,923,923.7,0\n";
+        let base = parse_table1_baseline(csv).unwrap();
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].config, "1LP");
+        assert!((base[1].duration_us - 923.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_the_committed_fig6_format() {
+        let csv = "series,order,local_size,gflops_a100_equiv,duration_us,occupancy_pct,validated,max_rel_error\n\
+                   3LP-1,k-major,96,645.0,875.1,50.0,true,1e-12\n\
+                   QUDA recon 18,-,128,1000.0,,,true,\n";
+        let base = parse_fig6_baseline(csv).unwrap();
+        assert_eq!(base.len(), 1, "QUDA rows without a duration are skipped");
+        assert_eq!(base[0].config, "3LP-1 [k-major] @ 96");
+        assert!((base[0].duration_us - 875.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_csv_is_an_error_not_a_pass() {
+        assert!(parse_table1_baseline("").is_err());
+        assert!(parse_table1_baseline("config,x\n").is_err());
+        assert!(parse_table1_baseline("config,sim_duration_us\n1LP,abc\n").is_err());
+    }
+}

@@ -22,6 +22,7 @@
 pub mod cpu_opt;
 pub mod flops;
 pub mod kernels;
+pub mod obs;
 pub mod operator;
 pub mod parallel_cpu;
 pub mod problem;
@@ -34,6 +35,7 @@ pub mod validate;
 
 pub use flops::theoretical_flops;
 pub use kernels::defects::{BrokenBarrierThreeLp1, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead};
+pub use obs::{Metrics, Trace, Tracer};
 pub use operator::{recommended_config, SimulatedDslash};
 pub use problem::DslashProblem;
 pub use runner::{

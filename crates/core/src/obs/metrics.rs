@@ -1,0 +1,286 @@
+//! Label-aware metrics registry with a Prometheus text snapshot.
+//!
+//! Three instrument kinds, the minimum a serving stack needs:
+//! monotonic **counters** (`launches_total{config,sanitizer}`),
+//! last-value **gauges** (`cg_residual`), and fixed-bucket
+//! **histograms** (`launch_duration_us`).  Series are keyed by
+//! `(name, sorted labels)`; rendering follows the Prometheus text
+//! exposition format so the snapshot in `results/metrics.txt` can be
+//! scraped or diffed directly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Histogram bucket upper bounds for launch durations, µs.  Powers of
+/// ~2–2.5 spanning the simulator's realistic range (tens of µs for
+/// small lattices to tens of ms at L = 32).
+pub const DURATION_BUCKETS_US: [f64; 9] = [
+    50.0, 100.0, 250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 50_000.0,
+];
+
+/// Series key: metric name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Series {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Series {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// `name{k="v",...}` with Prometheus label-value escaping.
+    fn render(&self, extra: Option<(&str, &str)>) -> String {
+        let mut pairs: Vec<(String, String)> = self.labels.clone();
+        if let Some((k, v)) = extra {
+            pairs.push((k.to_string(), v.to_string()));
+            pairs.sort();
+        }
+        if pairs.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[derive(Clone, Debug, Default)]
+struct Histo {
+    /// Cumulative counts per `DURATION_BUCKETS_US` bound (+Inf implicit
+    /// via `count`).
+    bucket_counts: [u64; DURATION_BUCKETS_US.len()],
+    count: u64,
+    sum: f64,
+}
+
+impl Histo {
+    fn observe(&mut self, v: f64) {
+        for (i, bound) in DURATION_BUCKETS_US.iter().enumerate() {
+            if v <= *bound {
+                self.bucket_counts[i] += 1;
+            }
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<Series, u64>,
+    gauges: BTreeMap<Series, f64>,
+    histograms: BTreeMap<Series, Histo>,
+}
+
+/// The metrics registry.  Clones share state; install one ambiently
+/// with [`crate::obs::set_metrics`].
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl Metrics {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment a counter series.
+    pub fn inc(&self, name: &str, labels: &[(&str, &str)], by: u64) {
+        let mut reg = self.inner.lock().expect("metrics lock");
+        *reg.counters.entry(Series::new(name, labels)).or_insert(0) += by;
+    }
+
+    /// Set a gauge series to its latest value.
+    pub fn set_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let mut reg = self.inner.lock().expect("metrics lock");
+        reg.gauges.insert(Series::new(name, labels), value);
+    }
+
+    /// Record one histogram observation (buckets:
+    /// [`DURATION_BUCKETS_US`]).
+    pub fn observe(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let mut reg = self.inner.lock().expect("metrics lock");
+        reg.histograms
+            .entry(Series::new(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter series (0 if never incremented).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        let reg = self.inner.lock().expect("metrics lock");
+        reg.counters
+            .get(&Series::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Latest value of a gauge series.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let reg = self.inner.lock().expect("metrics lock");
+        reg.gauges.get(&Series::new(name, labels)).copied()
+    }
+
+    /// Total series count across all instruments (for tests).
+    pub fn series_count(&self) -> usize {
+        let reg = self.inner.lock().expect("metrics lock");
+        reg.counters.len() + reg.gauges.len() + reg.histograms.len()
+    }
+
+    /// Render the whole registry in the Prometheus text exposition
+    /// format, with `# TYPE` headers and stable (sorted) series order.
+    pub fn render_prometheus(&self) -> String {
+        let reg = self.inner.lock().expect("metrics lock");
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (series, value) in &reg.counters {
+            if last_name != Some(series.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} counter", series.name);
+                last_name = Some(&series.name);
+            }
+            let _ = writeln!(out, "{} {value}", series.render(None));
+        }
+        last_name = None;
+        for (series, value) in &reg.gauges {
+            if last_name != Some(series.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} gauge", series.name);
+                last_name = Some(&series.name);
+            }
+            let _ = writeln!(out, "{} {value}", series.render(None));
+        }
+        last_name = None;
+        for (series, h) in &reg.histograms {
+            if last_name != Some(series.name.as_str()) {
+                let _ = writeln!(out, "# TYPE {} histogram", series.name);
+                last_name = Some(&series.name);
+            }
+            for (i, bound) in DURATION_BUCKETS_US.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    series.name,
+                    strip_name(
+                        &series.render(Some(("le", &format!("{bound}")))),
+                        &series.name
+                    ),
+                    h.bucket_counts[i]
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                series.name,
+                strip_name(&series.render(Some(("le", "+Inf"))), &series.name),
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "{}_sum{} {}",
+                series.name,
+                strip_name(&series.render(None), &series.name),
+                h.sum
+            );
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                series.name,
+                strip_name(&series.render(None), &series.name),
+                h.count
+            );
+        }
+        out
+    }
+}
+
+/// A rendered series minus its metric name — just the `{...}` suffix
+/// (empty when the series has no labels).
+fn strip_name(rendered: &str, name: &str) -> String {
+    rendered[name.len()..].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let m = Metrics::new();
+        m.inc(
+            "launches_total",
+            &[("config", "1LP"), ("sanitizer", "off")],
+            1,
+        );
+        m.inc(
+            "launches_total",
+            &[("sanitizer", "off"), ("config", "1LP")],
+            2,
+        );
+        m.inc(
+            "launches_total",
+            &[("config", "2LP"), ("sanitizer", "off")],
+            1,
+        );
+        assert_eq!(
+            m.counter_value("launches_total", &[("config", "1LP"), ("sanitizer", "off")]),
+            3
+        );
+        assert_eq!(
+            m.counter_value("launches_total", &[("config", "2LP"), ("sanitizer", "off")]),
+            1
+        );
+    }
+
+    #[test]
+    fn gauges_keep_the_latest_value() {
+        let m = Metrics::new();
+        m.set_gauge("cg_residual", &[], 0.5);
+        m.set_gauge("cg_residual", &[], 0.25);
+        assert_eq!(m.gauge_value("cg_residual", &[]), Some(0.25));
+    }
+
+    #[test]
+    fn prometheus_text_has_types_labels_and_histogram_rows() {
+        let m = Metrics::new();
+        m.inc("launches_total", &[("config", "3LP-1 k-major")], 4);
+        m.set_gauge("cg_residual", &[], 1e-9);
+        m.observe("launch_duration_us", &[("config", "1LP")], 900.0);
+        m.observe("launch_duration_us", &[("config", "1LP")], 60_000.0);
+        let text = m.render_prometheus();
+        assert!(text.contains("# TYPE launches_total counter"));
+        assert!(text.contains("launches_total{config=\"3LP-1 k-major\"} 4"));
+        assert!(text.contains("# TYPE cg_residual gauge"));
+        assert!(text.contains("# TYPE launch_duration_us histogram"));
+        // 900 µs lands in the 1000-µs bucket; 60 ms only in +Inf.
+        assert!(text.contains("launch_duration_us_bucket{config=\"1LP\",le=\"1000\"} 1"));
+        assert!(text.contains("launch_duration_us_bucket{config=\"1LP\",le=\"+Inf\"} 2"));
+        assert!(text.contains("launch_duration_us_count{config=\"1LP\"} 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = Metrics::new();
+        m.inc("x_total", &[("k", "a\"b\\c")], 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("x_total{k=\"a\\\"b\\\\c\"} 1"));
+    }
+}

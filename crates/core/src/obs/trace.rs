@@ -1,0 +1,458 @@
+//! The span tracer: nested, attributed spans plus counter-track
+//! samples, recorded against a monotonic clock.
+//!
+//! A [`Tracer`] is cheap to clone (shared interior) and records three
+//! kinds of data:
+//!
+//! * **spans** — named intervals with a *track* (one timeline row in
+//!   the exported view; e.g. one per kernel configuration), free-form
+//!   attributes, and a nesting depth taken from the open-span stack;
+//! * **counter samples** — `(track, timestamp, value)` points that the
+//!   Chrome exporter renders as counter tracks (SM throughput, miss
+//!   rates, atomic passes);
+//! * nothing else: metrics live in [`crate::obs::Metrics`].
+//!
+//! Timestamps come from one [`Instant`] epoch per tracer and are
+//! clamped to be non-decreasing, so an exported timeline is always
+//! monotone even if the OS clock resolution makes two events coincide.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One span attribute value.  Numbers are stored as `f64` — every
+/// counter the simulator produces fits losslessly below 2^53, and the
+/// Chrome trace format has no integer type anyway, so this keeps
+/// export → parse round trips exact.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute.
+    Str(String),
+    /// A numeric attribute.
+    Num(f64),
+    /// A boolean attribute.
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_string())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Num(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Num(v as f64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Num(v as f64)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::Num(v as f64)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl AttrValue {
+    /// Numeric value, if this attribute is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// One closed span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `tune.sweep` or `launch`.
+    pub name: String,
+    /// Timeline row the span belongs to (one per kernel config).
+    pub track: String,
+    /// Start, µs since the tracer's epoch.
+    pub start_us: f64,
+    /// Duration, µs (end − start; ≥ 0).
+    pub dur_us: f64,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: u32,
+    /// Open order (0, 1, 2 …) — stable even when closes interleave.
+    pub seq: u64,
+    /// Attributes attached while the span was open.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// Attribute lookup by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// End timestamp, µs since the epoch.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// One counter-track sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CounterSample {
+    /// Counter track name, e.g. `SM throughput %`.
+    pub track: String,
+    /// Sample time, µs since the epoch.
+    pub ts_us: f64,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Everything a tracer recorded: the snapshot the exporter consumes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// Closed spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter samples, in record order.
+    pub counters: Vec<CounterSample>,
+}
+
+impl Trace {
+    /// Distinct span tracks in first-open order.
+    pub fn tracks(&self) -> Vec<&str> {
+        let mut in_open_order: Vec<&SpanRecord> = self.spans.iter().collect();
+        in_open_order.sort_by_key(|s| s.seq);
+        let mut out: Vec<&str> = Vec::new();
+        for s in in_open_order {
+            if !out.contains(&s.track.as_str()) {
+                out.push(&s.track);
+            }
+        }
+        out
+    }
+
+    /// Distinct counter tracks in first-sample order.
+    pub fn counter_tracks(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for c in &self.counters {
+            if !out.contains(&c.track.as_str()) {
+                out.push(&c.track);
+            }
+        }
+        out
+    }
+
+    /// The timeline's *shape*: one line per span in open order,
+    /// indented by nesting depth, `track / name` — everything the
+    /// golden test pins without depending on timings.
+    pub fn shape(&self) -> String {
+        let mut in_open_order: Vec<&SpanRecord> = self.spans.iter().collect();
+        in_open_order.sort_by_key(|s| s.seq);
+        let mut out = String::new();
+        for s in in_open_order {
+            for _ in 0..s.depth {
+                out.push_str("  ");
+            }
+            out.push_str(&s.track);
+            out.push_str(" / ");
+            out.push_str(&s.name);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-span *self* time (duration minus the duration of directly
+    /// nested child spans), as `(track/name, self µs)` summed over all
+    /// spans with that label, largest first.
+    pub fn self_times(&self) -> Vec<(String, f64)> {
+        // A span's children are the spans whose open interval nests
+        // inside it at depth + 1.  Open order + the depth recorded at
+        // open time reconstruct the tree without parent pointers.
+        let mut in_open_order: Vec<&SpanRecord> = self.spans.iter().collect();
+        in_open_order.sort_by_key(|s| s.seq);
+        let mut totals: Vec<(String, f64)> = Vec::new();
+        for (i, s) in in_open_order.iter().enumerate() {
+            let mut self_us = s.dur_us;
+            for child in in_open_order.iter().skip(i + 1) {
+                if child.depth <= s.depth {
+                    break;
+                }
+                if child.depth == s.depth + 1 {
+                    self_us -= child.dur_us;
+                }
+            }
+            let label = format!("{} / {}", s.track, s.name);
+            match totals.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, t)) => *t += self_us.max(0.0),
+                None => totals.push((label, self_us.max(0.0))),
+            }
+        }
+        totals.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite self time"));
+        totals
+    }
+}
+
+struct OpenSpan {
+    name: String,
+    track: String,
+    start_us: f64,
+    depth: u32,
+    seq: u64,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: Vec<CounterSample>,
+    open: Vec<OpenSpan>,
+    next_seq: u64,
+    /// Last timestamp handed out; `now_us` clamps to it so the stream
+    /// is monotone non-decreasing.
+    last_ts: f64,
+}
+
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+/// A span/event recorder.  Clones share the same record; install one
+/// ambiently with [`crate::obs::set_tracer`] so instrumented code paths
+/// pick it up without signature changes.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State {
+                    spans: Vec::new(),
+                    counters: Vec::new(),
+                    open: Vec::new(),
+                    next_seq: 0,
+                    last_ts: 0.0,
+                }),
+            }),
+        }
+    }
+
+    fn now_us(&self, state: &mut State) -> f64 {
+        let now = self.inner.epoch.elapsed().as_secs_f64() * 1e6;
+        let ts = now.max(state.last_ts);
+        state.last_ts = ts;
+        ts
+    }
+
+    /// Open a span on the default `main` track.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_on("main", name)
+    }
+
+    /// Open a span on a named track; the returned guard closes it on
+    /// drop.
+    pub fn span_on(&self, track: &str, name: &str) -> SpanGuard {
+        let mut state = self.inner.state.lock().expect("tracer lock");
+        let start_us = self.now_us(&mut state);
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let depth = state.open.len() as u32;
+        state.open.push(OpenSpan {
+            name: name.to_string(),
+            track: track.to_string(),
+            start_us,
+            depth,
+            seq,
+            attrs: Vec::new(),
+        });
+        SpanGuard {
+            tracer: self.clone(),
+            seq,
+        }
+    }
+
+    /// Record one counter-track sample at "now".
+    pub fn counter(&self, track: &str, value: f64) {
+        let mut state = self.inner.state.lock().expect("tracer lock");
+        let ts_us = self.now_us(&mut state);
+        state.counters.push(CounterSample {
+            track: track.to_string(),
+            ts_us,
+            value,
+        });
+    }
+
+    fn attach_attr(&self, seq: u64, key: &str, value: AttrValue) {
+        let mut state = self.inner.state.lock().expect("tracer lock");
+        if let Some(open) = state.open.iter_mut().find(|o| o.seq == seq) {
+            open.attrs.push((key.to_string(), value));
+        }
+    }
+
+    fn close(&self, seq: u64) {
+        let mut state = self.inner.state.lock().expect("tracer lock");
+        let end_us = self.now_us(&mut state);
+        if let Some(idx) = state.open.iter().position(|o| o.seq == seq) {
+            let open = state.open.remove(idx);
+            state.spans.push(SpanRecord {
+                name: open.name,
+                track: open.track,
+                start_us: open.start_us,
+                dur_us: (end_us - open.start_us).max(0.0),
+                depth: open.depth,
+                seq: open.seq,
+                attrs: open.attrs,
+            });
+        }
+    }
+
+    /// Spans currently open (guards alive).
+    pub fn open_spans(&self) -> usize {
+        self.inner.state.lock().expect("tracer lock").open.len()
+    }
+
+    /// Closed spans recorded so far.
+    pub fn closed_spans(&self) -> usize {
+        self.inner.state.lock().expect("tracer lock").spans.len()
+    }
+
+    /// A snapshot of everything recorded so far (open spans excluded).
+    ///
+    /// Spans come back in open (`seq`) order, not close order — the
+    /// same order [`export::parse_chrome`](crate::obs::parse_chrome)
+    /// reconstructs, so a snapshot round-trips the exporter exactly.
+    pub fn snapshot(&self) -> Trace {
+        let state = self.inner.state.lock().expect("tracer lock");
+        let mut spans = state.spans.clone();
+        spans.sort_by_key(|s| s.seq);
+        Trace {
+            spans,
+            counters: state.counters.clone(),
+        }
+    }
+}
+
+/// Closes its span on drop; attributes attach while the span is open.
+pub struct SpanGuard {
+    tracer: Tracer,
+    seq: u64,
+}
+
+impl SpanGuard {
+    /// Attach an attribute to the span.
+    pub fn attr(&self, key: &str, value: impl Into<AttrValue>) {
+        self.tracer.attach_attr(self.seq, key, value.into());
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.close(self.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_close() {
+        let t = Tracer::new();
+        {
+            let outer = t.span("outer");
+            outer.attr("k", 3u64);
+            {
+                let inner = t.span_on("side", "inner");
+                inner.attr("label", "x");
+            }
+        }
+        assert_eq!(t.open_spans(), 0);
+        let trace = t.snapshot();
+        assert_eq!(trace.spans.len(), 2);
+        // Snapshots come back in open (seq) order: outer first.
+        assert_eq!(trace.spans[0].name, "outer");
+        assert_eq!(trace.spans[0].depth, 0);
+        assert_eq!(trace.spans[0].attr("k").unwrap().as_num(), Some(3.0));
+        assert_eq!(trace.spans[1].name, "inner");
+        assert_eq!(trace.spans[1].depth, 1);
+        assert_eq!(trace.tracks(), vec!["main", "side"]);
+    }
+
+    #[test]
+    fn timestamps_are_monotone_and_nested_inside_parent() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("a");
+            let _b = t.span("b");
+        }
+        let trace = t.snapshot();
+        let b = trace.spans.iter().find(|s| s.name == "b").unwrap();
+        let a = trace.spans.iter().find(|s| s.name == "a").unwrap();
+        assert!(b.start_us >= a.start_us);
+        assert!(b.end_us() <= a.end_us());
+        assert!(a.dur_us >= 0.0 && b.dur_us >= 0.0);
+    }
+
+    #[test]
+    fn counter_samples_record_in_order() {
+        let t = Tracer::new();
+        t.counter("x", 1.0);
+        t.counter("y", 2.0);
+        t.counter("x", 3.0);
+        let trace = t.snapshot();
+        assert_eq!(trace.counters.len(), 3);
+        assert_eq!(trace.counter_tracks(), vec!["x", "y"]);
+        assert!(trace.counters[0].ts_us <= trace.counters[1].ts_us);
+    }
+
+    #[test]
+    fn shape_is_indented_open_order() {
+        let t = Tracer::new();
+        {
+            let _o = t.span("outer");
+            let _i = t.span("inner");
+        }
+        assert_eq!(t.snapshot().shape(), "main / outer\n  main / inner\n");
+    }
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let t = Tracer::new();
+        {
+            let _o = t.span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let _i = t.span("inner");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let trace = t.snapshot();
+        let times = trace.self_times();
+        let outer = times.iter().find(|(l, _)| l.ends_with("outer")).unwrap();
+        let inner = times.iter().find(|(l, _)| l.ends_with("inner")).unwrap();
+        let outer_total = trace.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert!(outer.1 < outer_total.dur_us);
+        assert!((outer.1 + inner.1 - outer_total.dur_us).abs() < 1.0);
+    }
+}

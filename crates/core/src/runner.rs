@@ -5,6 +5,7 @@
 //! submit-to-completion loop with `clock_gettime`).
 
 use crate::flops::theoretical_flops;
+use crate::obs;
 use crate::problem::DslashProblem;
 use crate::strategy::KernelConfig;
 use crate::tune::{TuneError, Tuner};
@@ -71,11 +72,15 @@ pub fn run_config<C: ComplexField>(
     let range = problem.launch_range(cfg, local_size);
     let kernel = problem.make_kernel(cfg, range.num_groups());
 
+    let label = cfg.label();
+    let span = obs::span_on(&label, "launch");
     let mut queue = Queue::on_device(device, queue_mode);
     let (report, overhead) = {
         let sub = queue.submit(kernel.as_ref(), range, problem.memory())?;
         (sub.report.clone(), sub.overhead_us)
     };
+    obs::record_launch(&span, &label, &report, device, overhead);
+    drop(span);
 
     let device_out = problem.read_output();
     let error = compare_to_reference(&device_out, problem.reference());
@@ -110,9 +115,15 @@ pub fn run_config_sanitized<C: ComplexField>(
     problem.zero_output();
     let range = problem.launch_range(cfg, local_size);
     let kernel = problem.make_kernel(cfg, range.num_groups());
-    Launcher::new(device)
-        .with_sanitizer(san)
-        .launch(kernel.as_ref(), range, problem.memory())
+    let label = cfg.label();
+    let span = obs::span_on(&label, "sanitize.launch");
+    let report = Launcher::new(device).with_sanitizer(san).launch(
+        kernel.as_ref(),
+        range,
+        problem.memory(),
+    )?;
+    obs::record_launch(&span, &label, &report, device, 0.0);
+    Ok(report)
 }
 
 /// Run one configuration with *warm* caches: one untimed warmup launch
@@ -133,18 +144,27 @@ pub fn run_config_warm<C: ComplexField>(
     let range = problem.launch_range(cfg, local_size);
     let kernel = problem.make_kernel(cfg, range.num_groups());
 
+    let label = cfg.label();
     let mut state = DeviceState::new(device);
     let launcher = Launcher::new(device);
     // Warmup launch: executes fully (results overwritten below), fills
     // the caches, is not timed.
-    launcher.launch_with_state(kernel.as_ref(), range, problem.memory(), &mut state)?;
+    {
+        let warmup_span = obs::span_on(&label, "warmup");
+        let warmup_report =
+            launcher.launch_with_state(kernel.as_ref(), range, problem.memory(), &mut state)?;
+        obs::record_launch(&warmup_span, &label, &warmup_report, device, 0.0);
+    }
 
     problem.zero_output();
+    let span = obs::span_on(&label, "launch");
     let mut queue = Queue::new(Launcher::new(device), queue_mode);
     let (report, overhead) = {
         let sub = queue.submit_with_state(kernel.as_ref(), range, problem.memory(), &mut state)?;
         (sub.report.clone(), sub.overhead_us)
     };
+    obs::record_launch(&span, &label, &report, device, overhead);
+    drop(span);
 
     let device_out = problem.read_output();
     let error = compare_to_reference(&device_out, problem.reference());

@@ -15,6 +15,7 @@
 //! evaluated with the rayon-parallel CPU Dslash; the solver is what the
 //! `cg_solver` example runs.
 
+use crate::obs;
 use crate::operator::recommended_config;
 use crate::parallel_cpu::dslash_par_into;
 use crate::problem::DslashProblem;
@@ -153,6 +154,7 @@ pub struct DeviceNormalOperator<'d, C: ComplexField> {
     eo: DslashProblem<C>,
     state_oe: DeviceState,
     state_eo: DeviceState,
+    device: &'d DeviceSpec,
     launcher: Launcher<'d>,
     full: QuarkField<C>,
     validated: bool,
@@ -193,6 +195,7 @@ impl<'d, C: ComplexField> DeviceNormalOperator<'d, C> {
             eo,
             state_oe: DeviceState::new(device),
             state_eo: DeviceState::new(device),
+            device,
             launcher: Launcher::new(device),
             full: QuarkField::zeros(gauge.lattice()),
             validated: false,
@@ -240,6 +243,7 @@ impl<'d, C: ComplexField> DeviceNormalOperator<'d, C> {
         problem: &mut DslashProblem<C>,
         state: &mut DeviceState,
         launcher: &Launcher<'d>,
+        device: &DeviceSpec,
         cfg: KernelConfig,
         local_size: u32,
         validate: bool,
@@ -247,9 +251,13 @@ impl<'d, C: ComplexField> DeviceNormalOperator<'d, C> {
         problem.zero_output();
         let range = problem.launch_range(cfg, local_size);
         let kernel = problem.make_kernel(cfg, range.num_groups());
-        launcher
+        let label = cfg.label();
+        let span = obs::span_on(&label, "dslash");
+        let report = launcher
             .launch_with_state(kernel.as_ref(), range, problem.memory(), state)
             .expect("tuned launch geometry was certified by the sweep");
+        obs::record_launch(&span, &label, &report, device, 0.0);
+        drop(span);
         let out = problem.read_output();
         if validate {
             let tol = problem.validation_tolerance();
@@ -278,6 +286,7 @@ impl<C: ComplexField> NormalOp<C> for DeviceNormalOperator<'_, C> {
             &mut self.oe,
             &mut self.state_oe,
             &self.launcher,
+            self.device,
             self.cfg,
             self.local_size,
             validate,
@@ -291,6 +300,7 @@ impl<C: ComplexField> NormalOp<C> for DeviceNormalOperator<'_, C> {
             &mut self.eo,
             &mut self.state_eo,
             &self.launcher,
+            self.device,
             self.cfg,
             self.local_size,
             validate,
@@ -325,6 +335,11 @@ pub fn solve_with<C: ComplexField, Op: NormalOp<C> + ?Sized>(
     let n = b.len();
     let bnorm = norm(b).max(1e-300);
 
+    let solve_span = obs::span_on("cg", "cg.solve");
+    solve_span.attr("n", n as u64);
+    solve_span.attr("tol", tol);
+    solve_span.attr("max_iter", max_iter as u64);
+
     let mut x = vec![ColorVector::<C>::zero(); n];
     let mut r = b.to_vec();
     let mut p = b.to_vec();
@@ -333,6 +348,12 @@ pub fn solve_with<C: ComplexField, Op: NormalOp<C> + ?Sized>(
 
     let mut iterations = 0;
     while iterations < max_iter && rr.sqrt() / bnorm > tol {
+        let iter_span = obs::span_on("cg", "cg.iter");
+        let rel = rr.sqrt() / bnorm;
+        iter_span.attr("k", iterations as u64);
+        iter_span.attr("residual", rel);
+        obs::metric_gauge("cg_residual", &[], rel);
+        obs::counter_sample("cg residual", rel);
         op.apply_op(&p, &mut ap);
         let pap = dot(&p, &ap);
         assert!(
@@ -351,15 +372,23 @@ pub fn solve_with<C: ComplexField, Op: NormalOp<C> + ?Sized>(
         }
         rr = rr_new;
         iterations += 1;
+        drop(iter_span);
     }
 
     // True residual (not the recurrence's): b - A x.
-    op.apply_op(&x, &mut ap);
+    {
+        let _check = obs::span_on("cg", "cg.true_residual");
+        op.apply_op(&x, &mut ap);
+    }
     let mut true_r = 0.0f64;
     for cb in 0..n {
         true_r += (b[cb] - ap[cb]).norm_sqr();
     }
     let relative_residual = true_r.sqrt() / bnorm;
+    solve_span.attr("iterations", iterations as u64);
+    solve_span.attr("relative_residual", relative_residual);
+    obs::metric_gauge("cg_residual", &[], relative_residual);
+    obs::metric_inc("cg_iterations_total", &[], iterations as u64);
     CgSolution {
         x,
         iterations,

@@ -188,6 +188,7 @@ impl Tuner {
         let key = Self::key_for(problem, cfg, device);
         if let Some(entry) = self.cache.lookup(&key) {
             self.hits += 1;
+            crate::obs::metric_inc("tune_cache_hits_total", &[("config", &cfg.label())], 1);
             return Ok(TuneDecision {
                 entry: entry.clone(),
                 from_cache: true,
@@ -195,6 +196,7 @@ impl Tuner {
             });
         }
         self.misses += 1;
+        crate::obs::metric_inc("tune_cache_misses_total", &[("config", &cfg.label())], 1);
         let sweep = sweep_config(problem, cfg, device, queue_mode)?;
         let entry = TuneEntry {
             key,

@@ -16,6 +16,7 @@
 //! sweep in which *no* candidate survives is an error, not a fabricated
 //! winner.
 
+use crate::obs;
 use crate::problem::DslashProblem;
 use crate::runner::run_config_warm;
 use crate::strategy::KernelConfig;
@@ -212,6 +213,9 @@ pub fn sweep_config<C: ComplexField>(
         });
     }
 
+    let span = obs::span_on("tune", "tune.sweep");
+    span.attr("kernel", cfg.label());
+    span.attr("candidates", candidates.len() as u64);
     let tol = problem.validation_tolerance();
     let mut outcomes = Vec::with_capacity(candidates.len());
     for ls in candidates {
@@ -265,10 +269,14 @@ pub fn sweep_config<C: ComplexField>(
         })
         .cloned();
     match winner {
-        Some(winner) => Ok(SweepOutcome {
-            winner,
-            candidates: outcomes,
-        }),
+        Some(winner) => {
+            span.attr("winner_local_size", winner.local_size);
+            span.attr("winner_duration_us", winner.duration_us);
+            Ok(SweepOutcome {
+                winner,
+                candidates: outcomes,
+            })
+        }
         None => Err(SweepError::AllRejected {
             kernel: cfg.label(),
             candidates: outcomes,

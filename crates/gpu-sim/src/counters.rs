@@ -54,28 +54,44 @@ pub struct Counters {
 }
 
 impl Counters {
-    /// Merge another launch fragment (per-SM partial) into this one.
+    /// Merge another launch fragment (per-SM partial) or a whole
+    /// launch (multi-launch aggregation) into this one.  Saturating:
+    /// aggregating an unbounded launch sequence must clamp at
+    /// `u64::MAX` instead of wrapping back to small values, which would
+    /// silently corrupt derived rates.
     pub fn merge(&mut self, o: &Counters) {
-        self.global_load_instructions += o.global_load_instructions;
-        self.global_store_instructions += o.global_store_instructions;
-        self.atomic_instructions += o.atomic_instructions;
-        self.local_instructions += o.local_instructions;
-        self.warp_instructions += o.warp_instructions;
-        self.l1_tag_requests_global += o.l1_tag_requests_global;
-        self.l1_sector_requests += o.l1_sector_requests;
-        self.l1_sector_misses += o.l1_sector_misses;
-        self.l2_sector_requests += o.l2_sector_requests;
-        self.l2_sector_misses += o.l2_sector_misses;
-        self.shared_wavefronts += o.shared_wavefronts;
-        self.shared_wavefronts_ideal += o.shared_wavefronts_ideal;
-        self.atomic_passes += o.atomic_passes;
-        self.divergent_branches += o.divergent_branches;
-        self.replayed_instructions += o.replayed_instructions;
-        self.flops += o.flops;
-        self.iops += o.iops;
-        self.barrier_waits += o.barrier_waits;
-        self.items += o.items;
-        self.warps += o.warps;
+        self.global_load_instructions = self
+            .global_load_instructions
+            .saturating_add(o.global_load_instructions);
+        self.global_store_instructions = self
+            .global_store_instructions
+            .saturating_add(o.global_store_instructions);
+        self.atomic_instructions = self
+            .atomic_instructions
+            .saturating_add(o.atomic_instructions);
+        self.local_instructions = self.local_instructions.saturating_add(o.local_instructions);
+        self.warp_instructions = self.warp_instructions.saturating_add(o.warp_instructions);
+        self.l1_tag_requests_global = self
+            .l1_tag_requests_global
+            .saturating_add(o.l1_tag_requests_global);
+        self.l1_sector_requests = self.l1_sector_requests.saturating_add(o.l1_sector_requests);
+        self.l1_sector_misses = self.l1_sector_misses.saturating_add(o.l1_sector_misses);
+        self.l2_sector_requests = self.l2_sector_requests.saturating_add(o.l2_sector_requests);
+        self.l2_sector_misses = self.l2_sector_misses.saturating_add(o.l2_sector_misses);
+        self.shared_wavefronts = self.shared_wavefronts.saturating_add(o.shared_wavefronts);
+        self.shared_wavefronts_ideal = self
+            .shared_wavefronts_ideal
+            .saturating_add(o.shared_wavefronts_ideal);
+        self.atomic_passes = self.atomic_passes.saturating_add(o.atomic_passes);
+        self.divergent_branches = self.divergent_branches.saturating_add(o.divergent_branches);
+        self.replayed_instructions = self
+            .replayed_instructions
+            .saturating_add(o.replayed_instructions);
+        self.flops = self.flops.saturating_add(o.flops);
+        self.iops = self.iops.saturating_add(o.iops);
+        self.barrier_waits = self.barrier_waits.saturating_add(o.barrier_waits);
+        self.items = self.items.saturating_add(o.items);
+        self.warps = self.warps.saturating_add(o.warps);
     }
 
     /// L1 sector miss rate, percent.
@@ -131,6 +147,23 @@ mod tests {
         assert_eq!(a.flops, 15);
         assert_eq!(a.warps, 3);
         assert!((a.l1_miss_rate_pct() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = Counters {
+            flops: u64::MAX - 3,
+            items: 10,
+            ..Default::default()
+        };
+        let b = Counters {
+            flops: 10,
+            items: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.flops, u64::MAX);
+        assert_eq!(a.items, 11);
     }
 
     #[test]

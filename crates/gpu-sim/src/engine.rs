@@ -104,6 +104,11 @@ pub struct LaunchReport {
     pub l2_stats: CacheStats,
     /// Modelled kernel duration in microseconds.
     pub duration_us: f64,
+    /// Host wall time the *simulation* of this launch took, µs — the
+    /// cost of running the model, not a property of the modelled
+    /// device.  Tracing surfaces it next to `duration_us` so timelines
+    /// show modelled vs simulation time per launch.
+    pub host_wall_us: f64,
     /// Sanitizer findings, when the launcher was configured with
     /// [`Launcher::with_sanitizer`]; `None` for unsanitized launches.
     pub sanitizer: Option<SanitizerReport>,
@@ -213,6 +218,7 @@ impl<'d> Launcher<'d> {
         mem: &DeviceMemory,
         state: &mut DeviceState,
     ) -> Result<LaunchReport, SimError> {
+        let host_start = std::time::Instant::now();
         range.validate(self.device)?;
         let res = kernel.resources(range.local);
         let occ = occupancy(self.device, range.local, &res, range.num_groups())?;
@@ -327,6 +333,7 @@ impl<'d> Launcher<'d> {
             l1_stats,
             l2_stats,
             duration_us,
+            host_wall_us: host_start.elapsed().as_secs_f64() * 1e6,
             sanitizer: san.map(Sanitizer::into_report),
         })
     }

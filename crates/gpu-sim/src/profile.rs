@@ -212,6 +212,7 @@ mod tests {
             l1_stats: Default::default(),
             l2_stats: Default::default(),
             duration_us: 929.0,
+            host_wall_us: 0.0,
             sanitizer: None,
         }
     }

@@ -288,3 +288,79 @@ fn phased_gauge_still_validates_on_device() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Tracing invariants: random span trees driven through the obs::Tracer
+// must always close, keep monotone timestamps, nest children inside
+// their parents, and survive the Chrome-JSON round trip bit-exactly.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn span_trees_close_nest_and_round_trip(
+        ops in collection::vec((0u8..3, 0usize..4), 1..60)
+    ) {
+        use milc_dslash::obs::{parse_chrome, write_chrome, Tracer};
+
+        let tracer = Tracer::new();
+        let tracks = ["gpu", "cg", "tune", "io"];
+        let mut stack = Vec::new();
+        for (i, &(op, t)) in ops.iter().enumerate() {
+            match op {
+                // Open a span (bounded depth so trees stay readable).
+                0 if stack.len() < 8 => {
+                    let g = tracer.span_on(tracks[t], &format!("s{i}"));
+                    g.attr("i", i as u64);
+                    stack.push(g);
+                }
+                // Close the innermost open span.
+                1 => { stack.pop(); }
+                // A counter sample between spans.
+                _ => tracer.counter(tracks[t], i as f64),
+            }
+        }
+        // Close the remaining spans innermost-first (LIFO), the
+        // scope-guard discipline every instrumented call site follows.
+        while let Some(g) = stack.pop() {
+            drop(g);
+        }
+
+        // Every opened span closed.
+        prop_assert_eq!(tracer.open_spans(), 0);
+        let trace = tracer.snapshot();
+
+        // Timestamps are monotone and self-consistent.
+        for s in &trace.spans {
+            prop_assert!(s.dur_us >= 0.0);
+            prop_assert!(s.end_us() >= s.start_us);
+        }
+        let mut by_seq = trace.spans.clone();
+        by_seq.sort_by_key(|s| s.seq);
+        for w in by_seq.windows(2) {
+            prop_assert!(
+                w[1].start_us >= w[0].start_us,
+                "open order must be non-decreasing in time"
+            );
+        }
+        for w in trace.counters.windows(2) {
+            prop_assert!(w[1].ts_us >= w[0].ts_us);
+        }
+
+        // Every nested span lies inside some span one level up.
+        for s in trace.spans.iter().filter(|s| s.depth > 0) {
+            let contained = trace.spans.iter().any(|p| {
+                p.depth + 1 == s.depth
+                    && p.seq < s.seq
+                    && p.start_us <= s.start_us
+                    && s.end_us() <= p.end_us()
+            });
+            prop_assert!(contained, "span {} (depth {}) has no parent", s.name, s.depth);
+        }
+
+        // Chrome export/import is lossless.
+        let parsed = parse_chrome(&write_chrome(&trace)).expect("round trip");
+        prop_assert_eq!(parsed.spans, trace.spans);
+        prop_assert_eq!(parsed.counters, trace.counters);
+    }
+}
