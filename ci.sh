@@ -27,8 +27,20 @@ cargo run --offline --release -p milc-bench --bin table1 -- 16 --trace results/t
 test -s results/table1.trace.json || { echo "table1 did not write the trace"; exit 1; }
 test -s results/metrics.txt || { echo "table1 did not write the metrics snapshot"; exit 1; }
 
+echo "== shard_diff (sharded vs single-device bitwise identity, all Table I configs) =="
+cargo test --offline -q --test shard_diff
+
+echo "== scaling (strong-scaling study; overlapped must beat in-order at every N > 1) =="
+SCALING_SMOKE_DIR="$(mktemp -d)"
+cargo run --offline --release -p milc-bench --bin scaling -- 16 --check \
+  --out "$SCALING_SMOKE_DIR/scaling.csv" --trace "$SCALING_SMOKE_DIR/scaling.trace.json" \
+  --cache results/tunecache.json
+test -s "$SCALING_SMOKE_DIR/scaling.csv" || { echo "scaling did not write the csv"; exit 1; }
+test -s "$SCALING_SMOKE_DIR/scaling.trace.json" || { echo "scaling did not write the trace"; exit 1; }
+rm -rf "$SCALING_SMOKE_DIR"
+
 echo "== perfdiff (perf-regression gate, threshold +10%; selftest proves the FAIL path) =="
-cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --selftest
+cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --selftest
 
 echo "== collecting artifacts =="
 ARTIFACTS_DIR="${ARTIFACTS_DIR:-target/ci-artifacts}"

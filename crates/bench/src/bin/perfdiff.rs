@@ -4,13 +4,17 @@
 //! when any config regresses by more than 10% or loses coverage.
 //!
 //! Usage: `cargo run -p milc-bench --release --bin perfdiff -- [L]
-//! [--fig6] [--selftest] [--baseline PATH]`
+//! [--fig6] [--scaling] [--selftest] [--baseline PATH]`
 //!
 //! - default L = 16 matches the committed `results/table1.csv`
 //!   baseline (the simulator is deterministic, so an unchanged tree
 //!   diffs at ~0%);
 //! - `--fig6` additionally gates every row of `results/fig6.csv`
 //!   (the full sweep, several minutes);
+//! - `--scaling` additionally gates every row of `results/scaling.csv`
+//!   (the strong-scaling study: sharded wall clocks at N = 1..8 under
+//!   both exchange schedules, tuned sizes from the committed
+//!   `results/tunecache.json`);
 //! - `--selftest` then re-diffs with fresh durations inflated 1.2x and
 //!   verifies the gate trips — proof the FAIL path works, without a
 //!   second simulation;
@@ -18,23 +22,28 @@
 //!   main comparison (for demonstrating a seeded slowdown end to end).
 
 use milc_bench::perfdiff::{
-    diff, parse_fig6_baseline, parse_table1_baseline, BaselineEntry, REGRESSION_THRESHOLD,
+    diff, parse_fig6_baseline, parse_scaling_baseline, parse_table1_baseline, BaselineEntry,
+    REGRESSION_THRESHOLD,
 };
 use milc_bench::{
-    extension_compressed_3lp1, fig6_strategies, fig6_variants, table1_outcomes, Experiment,
+    extension_compressed_3lp1, fig6_strategies, fig6_variants, scaling_config_key, strong_scaling,
+    table1_outcomes, Experiment,
 };
 use milc_complex::{Cplx, DoubleComplex};
-use milc_dslash::DslashProblem;
+use milc_dslash::{DslashProblem, IndexOrder, KernelConfig, Strategy, TuneCache};
+use std::path::Path;
 
 fn main() {
     let mut l: usize = 16;
     let mut with_fig6 = false;
+    let mut with_scaling = false;
     let mut selftest = false;
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fig6" => with_fig6 = true,
+            "--scaling" => with_scaling = true,
             "--selftest" => selftest = true,
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a path"));
@@ -100,6 +109,26 @@ fn main() {
                 r.local_size
             ),
             duration_us: r.duration_us * inflate,
+        }));
+    }
+
+    if with_scaling {
+        let scaling_path = "results/scaling.csv";
+        let scaling_csv = std::fs::read_to_string(scaling_path)
+            .unwrap_or_else(|e| panic!("read baseline {scaling_path}: {e}"));
+        baseline.extend(
+            parse_scaling_baseline(&scaling_csv)
+                .unwrap_or_else(|e| panic!("parse baseline {scaling_path}: {e}")),
+        );
+        eprintln!("re-simulating the strong-scaling study ...");
+        // The committed tune cache makes this sweep-free; perfdiff never
+        // writes the cache back (it gates, it does not retune).
+        let (mut cache, _) = TuneCache::load(Path::new("results/tunecache.json"));
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let points = strong_scaling(&exp, cfg, &[1, 2, 4, 8], &mut cache);
+        fresh.extend(points.into_iter().map(|p| BaselineEntry {
+            config: scaling_config_key(p.row.ranks, &p.row.mode),
+            duration_us: p.row.wall_us * inflate,
         }));
     }
 

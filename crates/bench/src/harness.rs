@@ -3,9 +3,15 @@
 
 use crate::paper;
 use gpu_sim::timing::CalibrationSample;
-use gpu_sim::{Counters, DeviceSpec, LaunchReport, ProfileReport, QueueMode};
+use gpu_sim::{
+    Counters, DeviceGroup, DeviceSpec, Interconnect, LaunchReport, ProfileReport, QueueMode,
+};
 use milc_complex::{ComplexField, Cplx, DoubleComplex};
-use milc_dslash::{run_config_warm, DslashProblem, IndexOrder, KernelConfig, RunOutcome, Strategy};
+use milc_dslash::shard::{tune_rank_local_sizes, HaloFault, ShardMode, ShardOutcome};
+use milc_dslash::{
+    run_config_warm, shard, DslashProblem, IndexOrder, KernelConfig, RunOutcome, Strategy,
+    TuneCache,
+};
 use quda_ref::{Recon, StaggeredDslashTest};
 
 /// An experiment context: lattice size, matched device, seed.
@@ -384,6 +390,138 @@ pub fn quda_calibration_samples(exp: &Experiment) -> Vec<CalibrationSample> {
         }
     })
     .collect()
+}
+
+/// One point of the strong-scaling study: one rank count under one
+/// exchange schedule.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Number of simulated devices.
+    pub ranks: usize,
+    /// Exchange schedule name (`in-order` / `overlapped`).
+    pub mode: String,
+    /// Overall wall clock (slowest rank), µs.
+    pub wall_us: f64,
+    /// Worst per-rank halo cost under the schedule, µs.
+    pub comm_us: f64,
+    /// Worst per-rank kernel + queue time, µs.
+    pub compute_us: f64,
+    /// Total halo payload moved, bytes.
+    pub halo_bytes: u64,
+    /// A100-equivalent GFLOP/s at the overall wall clock.
+    pub gflops_a100_equiv: f64,
+    /// Wall-clock speedup over the study's first (single-rank) row.
+    pub speedup: f64,
+    /// Parallel efficiency: `100 · speedup / ranks`.
+    pub efficiency_pct: f64,
+    /// Whether the assembled output matched the CPU reference.
+    pub validated: bool,
+    /// Max relative error vs the reference.
+    pub max_rel_error: f64,
+}
+
+/// A scaling row together with the underlying sharded outcome (the
+/// trace exporter needs the per-rank timeline, not just the row).
+#[derive(Clone, Debug)]
+pub struct ScalingPoint {
+    /// The CSV row.
+    pub row: ScalingRow,
+    /// The full run outcome.
+    pub outcome: ShardOutcome,
+}
+
+/// The baseline key of a scaling row, as gated by `perfdiff`
+/// (`N=<ranks> <mode>`).
+pub fn scaling_config_key(ranks: usize, mode: &str) -> String {
+    format!("N={ranks} {mode}")
+}
+
+/// Run the strong-scaling study: the same global lattice decomposed
+/// across each rank count of `rank_counts` (NVLink-class interconnect,
+/// one volume-matched device per rank), under both exchange schedules,
+/// with per-rank local sizes from the tuner (`cache` is consulted and
+/// filled — pass the persistent cache to make re-runs sweep-free).
+///
+/// Speedup/efficiency are relative to the first rank count's in-order
+/// wall clock, so pass `1` first for textbook strong-scaling numbers.
+pub fn strong_scaling(
+    exp: &Experiment,
+    cfg: KernelConfig,
+    rank_counts: &[usize],
+    cache: &mut TuneCache,
+) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    let mut baseline: Option<(usize, f64)> = None; // (ranks, in-order wall)
+    for &n in rank_counts {
+        let mut problem = shard::ShardedProblem::<DoubleComplex>::random(exp.l, exp.seed, n);
+        let group = DeviceGroup::homogeneous(exp.device.clone(), n, Interconnect::nvlink());
+        let sizes = tune_rank_local_sizes(&problem, cfg, &group, cache)
+            .expect("per-rank tuning must find a legal size");
+        for mode in [ShardMode::InOrder, ShardMode::Overlapped] {
+            let outcome =
+                shard::run_sharded_with(&mut problem, cfg, &group, mode, &sizes, HaloFault::None)
+                    .expect("sharded run must launch");
+            assert!(
+                outcome.error.rel < 1e-8,
+                "sharded {} at N={n} mismatch: {:?}",
+                mode.name(),
+                outcome.error
+            );
+            if baseline.is_none() {
+                baseline = Some((n, outcome.wall_us));
+            }
+            let (n0, t0) = baseline.expect("just set");
+            let speedup = t0 / outcome.wall_us;
+            let row = ScalingRow {
+                ranks: n,
+                mode: mode.name().to_string(),
+                wall_us: outcome.wall_us,
+                comm_us: outcome
+                    .per_rank
+                    .iter()
+                    .map(|r| r.comm_us)
+                    .fold(0.0, f64::max),
+                compute_us: outcome
+                    .per_rank
+                    .iter()
+                    .map(shard::RankRun::compute_us)
+                    .fold(0.0, f64::max),
+                halo_bytes: outcome.halo_bytes_total,
+                gflops_a100_equiv: outcome.gflops * exp.a100_equiv_factor(),
+                speedup,
+                efficiency_pct: 100.0 * speedup * n0 as f64 / n as f64,
+                validated: outcome.error.rel < 1e-8,
+                max_rel_error: outcome.error.rel,
+            };
+            points.push(ScalingPoint { row, outcome });
+        }
+    }
+    points
+}
+
+/// Format scaling rows as CSV
+/// (`ranks,mode,wall_us,comm_us,compute_us,halo_bytes,...`).
+pub fn scaling_rows_to_csv(rows: &[ScalingRow]) -> String {
+    let mut s = String::from(
+        "ranks,mode,wall_us,comm_us,compute_us,halo_bytes,gflops_a100_equiv,speedup,efficiency_pct,validated,max_rel_error\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{},{},{:.1},{:.2},{:.1},{},{:.1},{:.3},{:.1},{},{:.3e}\n",
+            r.ranks,
+            r.mode,
+            r.wall_us,
+            r.comm_us,
+            r.compute_us,
+            r.halo_bytes,
+            r.gflops_a100_equiv,
+            r.speedup,
+            r.efficiency_pct,
+            r.validated,
+            r.max_rel_error
+        ));
+    }
+    s
 }
 
 /// Format sweep rows as CSV (`series,order,local_size,gflops,...`).

@@ -21,6 +21,7 @@ pub mod provenance;
 
 pub use harness::{
     aggregate_counters, best_of, best_of_order, calibration_samples, extension_compressed_3lp1,
-    fig6_strategies, fig6_variants, quda_recons, rows_to_csv, table1_outcomes, table1_profiles,
-    Experiment, SweepRow,
+    fig6_strategies, fig6_variants, quda_recons, rows_to_csv, scaling_config_key,
+    scaling_rows_to_csv, strong_scaling, table1_outcomes, table1_profiles, Experiment,
+    ScalingPoint, ScalingRow, SweepRow,
 };

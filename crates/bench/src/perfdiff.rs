@@ -94,6 +94,42 @@ pub fn parse_fig6_baseline(csv: &str) -> Result<Vec<BaselineEntry>, String> {
     Ok(out)
 }
 
+/// Parse the `wall_us` column of a committed `results/scaling.csv`
+/// (provenance `#` comment lines, then header
+/// `ranks,mode,wall_us,...`) into baseline entries keyed
+/// `N=<ranks> <mode>`.  Unlike the table1/fig6 formats, the scaling CSV
+/// leads with provenance comments, so `#` lines are skipped *before*
+/// the header is read.
+pub fn parse_scaling_baseline(csv: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut lines = csv
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty scaling csv")?;
+    let cols: Vec<&str> = header.split(',').collect();
+    let wall_col = cols
+        .iter()
+        .position(|c| *c == "wall_us")
+        .ok_or("scaling csv has no wall_us column")?;
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() <= wall_col.max(1) {
+            return Err(format!("scaling csv row {}: too few columns", i + 2));
+        }
+        let duration_us: f64 = f[wall_col]
+            .parse()
+            .map_err(|_| format!("scaling csv row {}: bad wall_us {:?}", i + 2, f[wall_col]))?;
+        out.push(BaselineEntry {
+            config: format!("N={} {}", f[0], f[1]),
+            duration_us,
+        });
+    }
+    if out.is_empty() {
+        return Err("scaling csv has no data rows".to_string());
+    }
+    Ok(out)
+}
+
 /// One compared config.
 #[derive(Clone, Debug)]
 pub struct DiffRow {
@@ -277,7 +313,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_committed_scaling_format() {
+        let csv = "# command: cargo run -p milc-bench --release --bin scaling\n\
+                   # git: abc123 device_hash: 0123456789abcdef\n\
+                   ranks,mode,wall_us,comm_us,compute_us,halo_bytes,gflops_a100_equiv,speedup,efficiency_pct,validated,max_rel_error\n\
+                   1,in-order,4000.0,0.00,4000.0,0,700.0,1.000,100.0,true,0.000e0\n\
+                   2,overlapped,1900.0,70.00,1850.0,1572864,1400.0,2.105,105.3,true,0.000e0\n";
+        let base = parse_scaling_baseline(csv).unwrap();
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].config, "N=1 in-order");
+        assert_eq!(base[1].config, "N=2 overlapped");
+        assert!((base[1].duration_us - 1900.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn bad_csv_is_an_error_not_a_pass() {
+        assert!(parse_scaling_baseline("# only comments\n").is_err());
+        assert!(parse_scaling_baseline("ranks,mode,wall_us\n").is_err());
+        assert!(parse_scaling_baseline("ranks,mode,wall_us\n2,overlapped,xyz\n").is_err());
         assert!(parse_table1_baseline("").is_err());
         assert!(parse_table1_baseline("config,x\n").is_err());
         assert!(parse_table1_baseline("config,sim_duration_us\n1LP,abc\n").is_err());

@@ -28,6 +28,7 @@ pub mod parallel_cpu;
 pub mod problem;
 pub mod reference;
 pub mod runner;
+pub mod shard;
 pub mod solver;
 pub mod strategy;
 pub mod tune;
@@ -41,6 +42,10 @@ pub use problem::DslashProblem;
 pub use runner::{
     run_config, run_config_sanitized, run_config_timed, run_config_tuned, run_config_warm,
     run_config_warm_tuned, RunOutcome, TimedRuns,
+};
+pub use shard::{
+    modelled_trace, run_sharded, run_sharded_with, tune_rank_local_sizes, HaloFault, Partition,
+    ShardMode, ShardOutcome, ShardedProblem,
 };
 pub use solver::{
     solve, solve_tuned, solve_with, CgSolution, DeviceNormalOperator, NormalOp, NormalOperator,

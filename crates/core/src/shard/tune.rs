@@ -1,0 +1,171 @@
+//! Per-rank autotuning of a sharded run's local sizes.
+//!
+//! Each rank owns a slab whose target count (and interior/boundary
+//! split) differs from the global problem, so the single-device tune
+//! cache entries do not apply.  This module sweeps each rank's *full*
+//! launch on its own device and records the winner in the shared
+//! [`TuneCache`] under a `shard/<config>` kernel key with the slab's
+//! dimensions — ranks with identical slabs and devices share one entry,
+//! so a homogeneous strong-scaling group sweeps once per distinct slab
+//! shape, not once per rank.
+//!
+//! Candidates are restricted to sizes legal for *every* non-empty phase
+//! of the rank (full, interior, boundary), so the tuned size is usable
+//! by both exchange schedules without refitting.
+
+use super::problem::{Phase, ShardedProblem};
+use crate::flops::FLOPS_PER_SITE;
+use crate::strategy::KernelConfig;
+use crate::tune::{device_spec_hash, TuneCache, TuneEntry, TuneKey};
+use gpu_sim::{DeviceGroup, Launcher, SimError};
+use milc_complex::ComplexField;
+
+/// The cache key of one rank's slab: the global device/key conventions,
+/// with the slab's dimensions and a `shard/`-prefixed kernel name.
+/// (Built literally because slabs may have an odd t extent, which the
+/// full-lattice constructors reject.)
+pub fn rank_tune_key(
+    problem: &ShardedProblem<impl ComplexField>,
+    cfg: KernelConfig,
+    group: &DeviceGroup,
+    r: usize,
+) -> TuneKey {
+    let [lx, ly, lz, _] = problem.lattice().dims();
+    TuneKey {
+        device_hash: device_spec_hash(group.device(r)),
+        dims: [lx, ly, lz, problem.partition().t_len(r)],
+        kernel: format!("shard/{}", cfg.label()),
+        sanitized: false,
+    }
+}
+
+/// Local sizes legal for every non-empty phase of rank `r`.
+fn candidates(
+    problem: &ShardedProblem<impl ComplexField>,
+    cfg: KernelConfig,
+    r: usize,
+) -> Vec<u32> {
+    let rank = problem.rank(r);
+    let mut sizes = cfg.legal_local_sizes(rank.phase_targets(Phase::Full));
+    for phase in [Phase::Interior, Phase::Boundary] {
+        let n = rank.phase_targets(phase);
+        if n > 0 {
+            sizes.retain(|&ls| cfg.local_size_legal(ls, n));
+        }
+    }
+    if sizes.is_empty() {
+        // The site block always divides every phase's global size.
+        sizes.push(cfg.strategy.local_size_multiple(cfg.order));
+    }
+    sizes
+}
+
+/// Tune (or look up) the local size of every rank of a sharded problem,
+/// sweeping cold full-phase launches on each rank's own device.
+/// Winners are inserted into `cache`; cache hits skip the sweep
+/// entirely.  Returns one local size per rank.
+///
+/// # Errors
+/// Propagates launch failures from the sweep.
+pub fn tune_rank_local_sizes<C: ComplexField>(
+    problem: &ShardedProblem<C>,
+    cfg: KernelConfig,
+    group: &DeviceGroup,
+    cache: &mut TuneCache,
+) -> Result<Vec<u32>, SimError> {
+    assert_eq!(group.len(), problem.num_ranks(), "one device per rank");
+    let mut out = Vec::with_capacity(problem.num_ranks());
+    for r in 0..problem.num_ranks() {
+        let key = rank_tune_key(problem, cfg, group, r);
+        if let Some(entry) = cache.lookup(&key) {
+            out.push(entry.local_size);
+            continue;
+        }
+        let rank = problem.rank(r);
+        let device = group.device(r);
+        let launcher = Launcher::new(device);
+        let mut best: Option<(u32, f64)> = None;
+        let mut ok = 0u32;
+        let mut rejected = 0u32;
+        for ls in candidates(problem, cfg, r) {
+            let range = rank.launch_range(cfg, Phase::Full, ls);
+            let kernel = rank
+                .make_kernel(cfg, Phase::Full, range.num_groups())
+                .expect("full phase is never empty");
+            match launcher.launch(kernel.as_ref(), range, rank.memory()) {
+                Ok(report) => {
+                    ok += 1;
+                    if best.is_none_or(|(_, d)| report.duration_us < d) {
+                        best = Some((ls, report.duration_us));
+                    }
+                }
+                Err(SimError::InvalidLocalSize { .. })
+                | Err(SimError::IndivisibleGlobalSize { .. })
+                | Err(SimError::LocalMemTooLarge { .. })
+                | Err(SimError::RegistersExhausted { .. }) => rejected += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        let (local_size, duration_us) = best.expect("at least the site block is sweepable");
+        let flops = rank.n_targets() as f64 * FLOPS_PER_SITE as f64;
+        cache.insert(TuneEntry {
+            key,
+            local_size,
+            duration_us,
+            gflops: flops / duration_us / 1e3,
+            candidates_ok: ok,
+            candidates_rejected: rejected,
+        });
+        out.push(local_size);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{IndexOrder, Strategy};
+    use gpu_sim::{DeviceSpec, Interconnect};
+    use milc_complex::DoubleComplex as Z;
+
+    #[test]
+    fn tuning_fills_the_cache_and_hits_on_reuse() {
+        let p = ShardedProblem::<Z>::random(4, 31, 2);
+        let g = DeviceGroup::homogeneous(DeviceSpec::test_small(), 2, Interconnect::nvlink());
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let mut cache = TuneCache::new();
+        let sizes = tune_rank_local_sizes(&p, cfg, &g, &mut cache).unwrap();
+        assert_eq!(sizes.len(), 2);
+        // Identical slabs on identical devices share one entry.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(sizes[0], sizes[1]);
+        let key = rank_tune_key(&p, cfg, &g, 0);
+        let entry = cache.lookup(&key).unwrap();
+        assert_eq!(entry.local_size, sizes[0]);
+        assert!(entry.key.kernel.starts_with("shard/"));
+        assert_eq!(entry.key.dims, [4, 4, 4, 2]);
+
+        // Second call is a pure cache hit (sweep counters unchanged).
+        let again = tune_rank_local_sizes(&p, cfg, &g, &mut cache).unwrap();
+        assert_eq!(again, sizes);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tuned_sizes_are_legal_for_all_phases() {
+        let p = ShardedProblem::<Z>::random(4, 32, 4);
+        let g = DeviceGroup::homogeneous(DeviceSpec::test_small(), 4, Interconnect::nvlink());
+        let cfg = KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor);
+        let mut cache = TuneCache::new();
+        let sizes = tune_rank_local_sizes(&p, cfg, &g, &mut cache).unwrap();
+        for (r, &ls) in sizes.iter().enumerate() {
+            let rank = p.rank(r);
+            for phase in [Phase::Full, Phase::Interior, Phase::Boundary] {
+                let n = rank.phase_targets(phase);
+                if n > 0 {
+                    assert!(cfg.local_size_legal(ls, n), "rank {r} phase {phase:?}");
+                }
+            }
+        }
+    }
+}

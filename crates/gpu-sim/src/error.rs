@@ -41,6 +41,21 @@ pub enum SimError {
         /// Offending device address.
         addr: u64,
     },
+    /// A halo message between two ranks of a device group was lost or
+    /// truncated in transit: the receiver's ghost region got fewer
+    /// bytes than the exchange plan promised (`got_bytes == 0` is a
+    /// dropped message).  Recoverable — the exchange reports it and the
+    /// caller decides whether to retry or fail the run.
+    HaloMessageFault {
+        /// Sending rank.
+        from: u32,
+        /// Receiving rank.
+        to: u32,
+        /// Bytes the exchange plan promised.
+        expected_bytes: u64,
+        /// Bytes that actually arrived.
+        got_bytes: u64,
+    },
     /// Lanes of one warp fell out of lockstep during replay: two lanes
     /// on the *same* control-flow path produced different event kinds at
     /// the same step.  This means the kernel branched divergently
@@ -86,6 +101,16 @@ impl fmt::Display for SimError {
             SimError::OutOfBoundsAccess { addr } => {
                 write!(f, "device access at {addr:#x} is outside every allocation")
             }
+            SimError::HaloMessageFault {
+                from,
+                to,
+                expected_bytes,
+                got_bytes,
+            } => write!(
+                f,
+                "halo message rank{from}->rank{to} faulted: expected {expected_bytes} B, \
+                 got {got_bytes} B"
+            ),
             SimError::LaneDivergenceMismatch {
                 lane,
                 expected,

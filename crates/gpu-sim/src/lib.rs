@@ -82,6 +82,7 @@ pub mod device;
 pub mod engine;
 pub mod error;
 pub mod event;
+pub mod group;
 pub mod kernel;
 pub mod memory;
 pub mod ndrange;
@@ -99,6 +100,7 @@ pub use device::DeviceSpec;
 pub use engine::{DeviceState, ExecMode, LaunchReport, Launcher};
 pub use error::SimError;
 pub use event::Event;
+pub use group::{DeviceGroup, Interconnect};
 pub use kernel::{Kernel, KernelResources, Lane};
 pub use memory::{Buffer, DeviceMemory};
 pub use ndrange::NdRange;

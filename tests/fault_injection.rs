@@ -119,6 +119,127 @@ fn misaligned_local_size_rejected_before_memory_is_touched() {
     assert!(p.read_output().iter().all(|v| v.norm_sqr() == 0.0));
 }
 
+// ---------------------------------------------------------------------
+// Halo-exchange faults (the sharded Dslash): a lost or truncated
+// message must surface as a typed, *recoverable* error before any
+// kernel runs; a silently corrupted exchange must be caught by the
+// differential check — never by luck.
+
+mod halo {
+    use gpu_sim::{DeviceGroup, DeviceSpec, Interconnect, QueueMode, SimError};
+    use milc_complex::DoubleComplex as Z;
+    use milc_dslash::shard::{run_sharded, run_sharded_with, HaloFault, ShardMode, ShardedProblem};
+    use milc_dslash::validate::bitwise_equal;
+    use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
+    use milc_lattice::{ColorVector, GaugeField, Lattice, Parity, QuarkField};
+
+    const LS: u32 = 96;
+
+    fn cfg() -> KernelConfig {
+        KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor)
+    }
+
+    fn setup() -> (ShardedProblem<Z>, DeviceGroup, Vec<ColorVector<Z>>) {
+        let lat = Lattice::hypercubic(4);
+        let gauge = GaugeField::<Z>::random(&lat, 70);
+        let b = QuarkField::<Z>::random(&lat, 71);
+        let mut single = DslashProblem::from_fields(gauge.clone(), b.clone(), Parity::Even);
+        run_config(
+            &mut single,
+            cfg(),
+            LS,
+            &DeviceSpec::test_small(),
+            QueueMode::InOrder,
+        )
+        .expect("single-device run");
+        let expected = single.read_output();
+        let sharded = ShardedProblem::from_fields(gauge, b, Parity::Even, 2);
+        let group = DeviceGroup::homogeneous(DeviceSpec::test_small(), 2, Interconnect::nvlink());
+        (sharded, group, expected)
+    }
+
+    #[test]
+    fn dropped_halo_message_is_typed_and_recoverable() {
+        let (mut sharded, group, expected) = setup();
+        let err = run_sharded_with(
+            &mut sharded,
+            cfg(),
+            &group,
+            ShardMode::Overlapped,
+            &[LS, LS],
+            HaloFault::Drop { msg: 0 },
+        );
+        match err {
+            Err(SimError::HaloMessageFault {
+                expected_bytes,
+                got_bytes,
+                ..
+            }) => {
+                assert!(expected_bytes > 0);
+                assert_eq!(got_bytes, 0, "a dropped message delivers nothing");
+            }
+            other => panic!("expected HaloMessageFault, got {other:?}"),
+        }
+        // Recoverable: the same problem re-runs cleanly and still
+        // produces the bitwise-identical answer.
+        let out = run_sharded(&mut sharded, cfg(), &group, ShardMode::Overlapped, LS)
+            .expect("retry after a dropped message succeeds");
+        assert!(out.error.within_reassociation_noise(), "{:?}", out.error);
+        assert!(bitwise_equal(&sharded.read_assembled(), &expected));
+    }
+
+    #[test]
+    fn truncated_halo_message_reports_both_byte_counts() {
+        let (mut sharded, group, _) = setup();
+        let err = run_sharded_with(
+            &mut sharded,
+            cfg(),
+            &group,
+            ShardMode::InOrder,
+            &[LS, LS],
+            HaloFault::Truncate {
+                msg: 1,
+                keep_bytes: 100,
+            },
+        );
+        match err {
+            Err(SimError::HaloMessageFault {
+                expected_bytes,
+                got_bytes,
+                ..
+            }) => {
+                // 100 bytes keeps six whole complex values (96 bytes).
+                assert_eq!(got_bytes, 96);
+                assert!(expected_bytes > got_bytes);
+            }
+            other => panic!("expected HaloMessageFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_corruption_is_caught_by_the_differential_check() {
+        let (mut sharded, group, expected) = setup();
+        let out = run_sharded_with(
+            &mut sharded,
+            cfg(),
+            &group,
+            ShardMode::InOrder,
+            &[LS, LS],
+            HaloFault::SilentDrop { msg: 0 },
+        )
+        .expect("a silent drop does not error — that is the point");
+        // The run completes, but the answer is wrong, and both layers
+        // of the differential harness see it: the reference comparison
+        // and the bitwise check against the single-device output.
+        assert!(
+            !out.error.within_reassociation_noise(),
+            "zeroed ghosts must corrupt boundary sites: {:?}",
+            out.error
+        );
+        assert!(!bitwise_equal(&sharded.read_assembled(), &expected));
+    }
+}
+
 #[test]
 fn wrong_device_state_is_rejected() {
     use gpu_sim::DeviceState;

@@ -259,6 +259,122 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Sharding invariants (the domain decomposition of `shard::Partition`):
+// the t-slab partition is a disjoint cover of the lattice for *any*
+// extents and rank count, halo send/receive sets are symmetric, and the
+// ghost-region size matches the analytic two-faces formula wherever the
+// slices cannot overlap.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every lattice site belongs to exactly one rank's slab, local and
+    /// global indices are inverse bijections, and `owner_of_site` agrees
+    /// with the slab iteration — for arbitrary (even) extents and any
+    /// rank count up to the t extent, including uneven splits.
+    #[test]
+    fn shard_partition_is_a_disjoint_cover(
+        half_ls in 1usize..3,
+        half_lt in 1usize..9,
+        ranks_seed in 1usize..32,
+    ) {
+        use milc_dslash::shard::Partition;
+        let (ls, lt) = (2 * half_ls, 2 * half_lt);
+        let lat = Lattice::new([ls, ls, ls, lt]);
+        let ranks = 1 + ranks_seed % lt; // any count in 1..=Lt
+        let p = Partition::new(&lat, ranks);
+        let mut owned = vec![0u32; lat.volume()];
+        for r in 0..ranks {
+            prop_assert_eq!(p.slab_volume(r), p.t_len(r) * p.slice_volume());
+            for s in p.slab_sites(r) {
+                owned[s] += 1;
+                prop_assert_eq!(p.owner_of_site(s), r);
+                prop_assert_eq!(p.global_site(r, p.local_index(r, s)), s);
+            }
+        }
+        prop_assert!(
+            owned.iter().all(|&c| c == 1),
+            "cover is not disjoint/exhaustive: {ranks} ranks on {:?}",
+            lat.dims()
+        );
+        // The remainder is spread one extra plane at a time.
+        let lens: Vec<usize> = (0..ranks).map(|r| p.t_len(r)).collect();
+        prop_assert_eq!(lens.iter().sum::<usize>(), lt);
+        prop_assert!(lens.iter().all(|&l| l >= lt / ranks && l <= lt / ranks + 1));
+    }
+
+    /// Halo symmetry: the send set of rank r to rank r' is exactly what
+    /// r' receives from r — every message's sites are owned by its
+    /// sender, the incoming messages of a rank partition its ghost set
+    /// (each ghost delivered exactly once), and the ghost set equals the
+    /// stencil-derived need set.
+    #[test]
+    fn shard_halo_send_and_receive_sets_are_symmetric(
+        half_ls in 1usize..3,
+        half_lt in 1usize..9,
+        ranks_seed in 1usize..32,
+    ) {
+        use milc_dslash::shard::{Partition, BYTES_PER_HALO_SITE};
+        use milc_lattice::neighbors::NeighborTable;
+        use std::collections::BTreeSet;
+
+        let (ls, lt) = (2 * half_ls, 2 * half_lt);
+        let lat = Lattice::new([ls, ls, ls, lt]);
+        let ranks = 1 + ranks_seed % lt;
+        let p = Partition::new(&lat, ranks);
+        let nt = NeighborTable::build(&lat);
+        for m in p.messages() {
+            prop_assert!(m.from != m.to, "no self-messages");
+            prop_assert_eq!(m.bytes(), m.sites.len() as u64 * BYTES_PER_HALO_SITE);
+            for &s in &m.sites {
+                prop_assert_eq!(p.owner_of_site(s), m.from, "sender must own what it sends");
+            }
+        }
+        for r in 0..ranks {
+            let mut received = BTreeSet::new();
+            for m in p.incoming(r) {
+                for &s in &m.sites {
+                    prop_assert!(received.insert(s), "site {s} delivered to rank {r} twice");
+                }
+            }
+            let ghosts: BTreeSet<usize> = p.ghost_sites(r).iter().copied().collect();
+            prop_assert_eq!(&received, &ghosts, "messages must fill rank {r}'s ghosts exactly");
+            prop_assert_eq!(&ghosts, &p.needed_sources(r, &nt), "rank {r} need set");
+        }
+    }
+
+    /// The ghost region is the analytic `2 · HALO_DEPTH · Lx·Ly·Lz`
+    /// (two faces, three planes deep) whenever the slab is at least two
+    /// planes thick and the rest of the lattice at least six — the
+    /// regime where the below/above slices can neither wrap onto each
+    /// other nor back onto the slab.  Never larger, in any regime.
+    #[test]
+    fn shard_ghost_sizes_match_the_analytic_formula(
+        half_ls in 1usize..3,
+        half_lt in 1usize..9,
+        ranks_seed in 1usize..32,
+    ) {
+        use milc_dslash::shard::{Partition, HALO_DEPTH};
+        let (ls, lt) = (2 * half_ls, 2 * half_lt);
+        let lat = Lattice::new([ls, ls, ls, lt]);
+        let ranks = 1 + ranks_seed % lt;
+        let p = Partition::new(&lat, ranks);
+        for r in 0..ranks {
+            prop_assert_eq!(p.analytic_ghost_sites(r), 2 * HALO_DEPTH * ls * ls * ls);
+            prop_assert!(p.num_ghosts(r) <= p.analytic_ghost_sites(r));
+            if p.t_len(r) >= 2 && lt - p.t_len(r) >= 2 * HALO_DEPTH {
+                prop_assert_eq!(
+                    p.num_ghosts(r),
+                    p.analytic_ghost_sites(r),
+                    "rank {r} of {ranks} on {:?}",
+                    lat.dims()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn phased_gauge_still_validates_on_device() {
     // Folding the staggered eta phases into the links (production MILC)

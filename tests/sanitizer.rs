@@ -214,6 +214,61 @@ fn shipped_kernels_declare_their_site_blocks() {
 }
 
 #[test]
+fn sharded_boundary_kernels_certify_clean_under_racecheck() {
+    // The boundary-phase kernels of the sharded Dslash run over a
+    // re-based target table (offset by the interior count) against a B
+    // buffer extended with the ghost region — exactly the index
+    // arithmetic a race or out-of-bounds bug would live in.  Every
+    // race-prone strategy class must certify clean on its boundary
+    // phase, under both the race checker alone and the full sanitizer.
+    use gpu_sim::DeviceGroup;
+    use milc_dslash::shard::{run_rank_sanitized, ShardedProblem};
+    use milc_dslash::IndexOrder::{IMajor, KMajor, LMajor};
+
+    let device = DeviceSpec::test_small();
+    let group = DeviceGroup::homogeneous(device.clone(), 2, gpu_sim::Interconnect::nvlink());
+    let mut problem = ShardedProblem::<Z>::random(L, 47, group.len());
+    for (strategy, order) in [
+        (Strategy::ThreeLp1, KMajor),
+        (Strategy::ThreeLp2, IMajor),
+        (Strategy::ThreeLp3, KMajor),
+        (Strategy::FourLp1, KMajor),
+        (Strategy::FourLp2, LMajor),
+        (Strategy::OneLp, KMajor),
+    ] {
+        let cfg = KernelConfig::new(strategy, order);
+        for san in [
+            SanitizerConfig::racecheck_only(),
+            SanitizerConfig::default(),
+        ] {
+            for rank in 0..group.len() {
+                let report = run_rank_sanitized(
+                    &mut problem,
+                    cfg,
+                    rank,
+                    local_size_for(strategy),
+                    &device,
+                    san.clone(),
+                )
+                .unwrap_or_else(|e| panic!("{} rank {rank}: {e}", cfg.label()));
+                let san_report = report.sanitizer.expect("sanitized launch has a report");
+                assert!(
+                    san_report.is_clean(),
+                    "{} boundary phase rank {rank}: {:?}",
+                    cfg.label(),
+                    san_report.findings
+                );
+                assert!(
+                    san_report.checked_accesses > 0,
+                    "{} rank {rank} checked nothing",
+                    cfg.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn every_tuner_candidate_passes_the_launch_linter() {
     // The tuner must only propose configurations `sancheck` would
     // certify: every candidate local size it sweeps, for every Table I
