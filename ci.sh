@@ -16,6 +16,10 @@ cargo test --offline -q --workspace
 echo "== sancheck (sanitizer gate) =="
 cargo run --offline --release -p milc-bench --bin sancheck
 
+echo "== staticcheck (static analysis gate: whole-launch proofs + traffic cross-validation) =="
+cargo run --offline --release -p milc-bench --bin staticcheck
+test -s results/staticcheck.md || { echo "staticcheck did not write the report"; exit 1; }
+
 echo "== tune (autotune smoke: cold sweep writes the cache, warm rerun is 100% hits) =="
 TUNE_SMOKE_CACHE="$(mktemp -d)/tunecache.json"
 cargo run --offline --release -p milc-bench --bin tune -- 4 "$TUNE_SMOKE_CACHE"
@@ -45,7 +49,7 @@ cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --sel
 echo "== collecting artifacts =="
 ARTIFACTS_DIR="${ARTIFACTS_DIR:-target/ci-artifacts}"
 mkdir -p "$ARTIFACTS_DIR"
-cp results/*.trace.json results/metrics.txt "$ARTIFACTS_DIR"/
+cp results/*.trace.json results/metrics.txt results/staticcheck.md "$ARTIFACTS_DIR"/
 echo "artifacts in $ARTIFACTS_DIR: $(ls "$ARTIFACTS_DIR" | tr '\n' ' ')"
 
 echo "== CI OK =="

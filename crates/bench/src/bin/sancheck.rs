@@ -50,13 +50,15 @@ fn main() {
         exp.device.name, exp.device.num_sms
     );
 
-    let mut md = String::from("# Sanitizer report (`sancheck`)\n\n");
-    md.push_str(&milc_bench::provenance::header_md(&exp.device));
-    md.push_str(&format!(
-        "Lattice L = {l}, device `{}`; full sanitizer \
-         (racecheck + memcheck + initcheck + lint).\n\n",
-        exp.device.name
-    ));
+    let mut md = milc_bench::provenance::report_prologue(
+        "Sanitizer report (`sancheck`)",
+        &exp.device,
+        &format!(
+            "Lattice L = {l}, device `{}`; full sanitizer \
+             (racecheck + memcheck + initcheck + lint).",
+            exp.device.name
+        ),
+    );
     let mut failed = false;
 
     // -- Part 1: the twelve Table I configurations must come back clean.

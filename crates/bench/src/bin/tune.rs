@@ -81,14 +81,16 @@ fn main() {
     let mut tuner = Tuner::with_cache_file(&cache_path);
     eprintln!("cache: {}", describe_load(tuner.load_outcome()));
     let mut failed = false;
-    let mut md = String::from("# Autotuning report (`tune`)\n\n");
-    md.push_str(&milc_bench::provenance::header_md(&exp.device));
-    md.push_str(&format!(
-        "Lattice L = {l}, device `{}`; cache `{}` ({}).\n\n",
-        exp.device.name,
-        cache_path.display(),
-        describe_load(tuner.load_outcome())
-    ));
+    let mut md = milc_bench::provenance::report_prologue(
+        "Autotuning report (`tune`)",
+        &exp.device,
+        &format!(
+            "Lattice L = {l}, device `{}`; cache `{}` ({}).",
+            exp.device.name,
+            cache_path.display(),
+            describe_load(tuner.load_outcome())
+        ),
+    );
     md.push_str("## Tuned winners\n\n");
     md.push_str(
         "| config | winner | duration (µs) | GFLOP/s (A100-equiv) | \

@@ -66,6 +66,12 @@ pub fn header_md(device: &DeviceSpec) -> String {
     )
 }
 
+/// The full opening block every `results/*.md` report shares: title
+/// heading, provenance header, and a one-line run context.
+pub fn report_prologue(title: &str, device: &DeviceSpec, context: &str) -> String {
+    format!("# {title}\n\n{}{context}\n\n", header_md(device))
+}
+
 /// `#`-comment provenance header for text artifacts (Prometheus
 /// snapshots, trace sidecars).
 pub fn header_comment(device: &DeviceSpec) -> String {

@@ -30,6 +30,7 @@ pub mod reference;
 pub mod runner;
 pub mod shard;
 pub mod solver;
+pub mod staticcheck;
 pub mod strategy;
 pub mod tune;
 pub mod validate;
@@ -51,6 +52,7 @@ pub use solver::{
     solve, solve_tuned, solve_with, CgSolution, DeviceNormalOperator, NormalOp, NormalOperator,
     TunedCgSolution,
 };
+pub use staticcheck::{run_config_staticcheck, staticcheck_kernel};
 pub use strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
 pub use tune::{TuneCache, TuneDecision, TuneEntry, TuneError, TuneKey, Tuner};
 pub use validate::{compare_to_reference, MaxError};

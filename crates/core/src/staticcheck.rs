@@ -1,0 +1,112 @@
+//! Static analysis of Dslash launch configurations (DESIGN §8).
+//!
+//! Thin instrumentation wrapper over the simulator's
+//! [`staticcheck`](gpu_sim::staticcheck) analyzer: runs the affine
+//! footprint inference and whole-launch proofs on a problem's kernel
+//! *without executing it* — no output zeroing, no memory mutation —
+//! and records an observability span plus the
+//! `staticcheck_findings_total` metric.
+
+use crate::obs;
+use crate::problem::DslashProblem;
+use crate::strategy::KernelConfig;
+use gpu_sim::{
+    DeviceMemory, DeviceSpec, Kernel, NdRange, SimError, StaticCheckConfig, StaticReport,
+};
+use milc_complex::ComplexField;
+
+/// Statically analyze one kernel launch, tracing the analysis as a
+/// `staticcheck` span on the `label` track and bumping
+/// `staticcheck_findings_total{config=label}` by the finding count.
+pub fn staticcheck_kernel(
+    kernel: &dyn Kernel,
+    range: &NdRange,
+    device: &DeviceSpec,
+    mem: &DeviceMemory,
+    cfg: &StaticCheckConfig,
+    label: &str,
+) -> StaticReport {
+    let span = obs::span_on(label, "staticcheck");
+    let report = gpu_sim::staticcheck_analyze(kernel, range, device, mem, cfg);
+    span.attr("probes", report.probes as u64);
+    span.attr("residues", report.residues as u64);
+    span.attr("findings", report.findings.len() as u64);
+    span.attr("notes", report.notes.len() as u64);
+    let occurrences: u64 = report.findings.iter().map(|f| f.occurrences).sum();
+    if occurrences > 0 {
+        obs::metric_inc(
+            "staticcheck_findings_total",
+            &[("config", label)],
+            occurrences,
+        );
+    }
+    report
+}
+
+/// Statically analyze one `(config, local size)` of a problem.  Unlike
+/// the dynamic runners this takes the problem immutably: the analysis
+/// never writes device memory (probe lanes record, they do not store),
+/// so the output buffer is left exactly as the caller had it.
+pub fn run_config_staticcheck<C: ComplexField>(
+    problem: &DslashProblem<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+    scfg: &StaticCheckConfig,
+) -> Result<StaticReport, SimError> {
+    if !cfg.local_size_legal(local_size, problem.lattice().half_volume() as u64) {
+        return Err(SimError::InvalidLocalSize {
+            local: local_size,
+            max: device.max_group_size,
+        });
+    }
+    let range = problem.launch_range(cfg, local_size);
+    let kernel = problem.make_kernel(cfg, range.num_groups());
+    Ok(staticcheck_kernel(
+        kernel.as_ref(),
+        &range,
+        device,
+        problem.memory(),
+        scfg,
+        &cfg.label(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{IndexOrder, Strategy};
+    use milc_complex::DoubleComplex as Z;
+
+    #[test]
+    fn paper_config_is_statically_clean() {
+        let p = DslashProblem::<Z>::random(4, 41);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let r =
+            run_config_staticcheck(&p, cfg, 96, &device, &StaticCheckConfig::default()).unwrap();
+        assert!(r.is_clean(), "{}", r.render_text());
+        assert!(r.probes > 0);
+        assert!(!r.footprints.is_empty());
+    }
+
+    #[test]
+    fn analysis_leaves_device_memory_untouched() {
+        let p = DslashProblem::<Z>::random(4, 42);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::OneLp, IndexOrder::KMajor);
+        let before = p.memory().init_snapshot();
+        let _ = run_config_staticcheck(&p, cfg, 32, &device, &StaticCheckConfig::full()).unwrap();
+        assert_eq!(before, p.memory().init_snapshot());
+    }
+
+    #[test]
+    fn illegal_local_size_surfaces_as_error() {
+        let p = DslashProblem::<Z>::random(4, 43);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        assert!(
+            run_config_staticcheck(&p, cfg, 1000, &device, &StaticCheckConfig::default()).is_err()
+        );
+    }
+}

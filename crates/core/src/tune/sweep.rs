@@ -19,8 +19,9 @@
 use crate::obs;
 use crate::problem::DslashProblem;
 use crate::runner::run_config_warm;
+use crate::staticcheck::staticcheck_kernel;
 use crate::strategy::KernelConfig;
-use gpu_sim::{lint_launch, DeviceSpec, QueueMode, SimError};
+use gpu_sim::{lint_launch, DeviceSpec, QueueMode, SimError, StaticCheckConfig};
 use milc_complex::ComplexField;
 
 /// Why a candidate local size was not timed / not eligible to win.
@@ -28,6 +29,9 @@ use milc_complex::ComplexField;
 pub enum Reject {
     /// The static launch linter produced findings (messages recorded).
     Lint(Vec<String>),
+    /// The static access analyzer proved a race or bounds violation
+    /// over the whole ND-range (messages recorded).
+    Static(Vec<String>),
     /// The simulator refused or aborted the launch.
     Launch(SimError),
     /// The launch ran but its output diverged from the CPU reference.
@@ -43,6 +47,7 @@ impl std::fmt::Display for Reject {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Reject::Lint(msgs) => write!(f, "lint: {}", msgs.join("; ")),
+            Reject::Static(msgs) => write!(f, "staticcheck: {}", msgs.join("; ")),
             Reject::Launch(e) => write!(f, "launch: {e}"),
             Reject::Validation { rel, tol } => {
                 write!(f, "validation: rel error {rel:.3e} > tol {tol:.3e}")
@@ -195,6 +200,35 @@ fn lint_candidate<C: ComplexField>(
     .collect()
 }
 
+/// Prove a candidate race- and bounds-free over the whole ND-range
+/// before spending launches timing it.  The lints already ran
+/// ([`lint_candidate`]), so only the footprint proofs are requested.
+fn static_candidate<C: ComplexField>(
+    problem: &DslashProblem<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+) -> Vec<String> {
+    let range = problem.launch_range(cfg, local_size);
+    let kernel = problem.make_kernel(cfg, range.num_groups());
+    let scfg = StaticCheckConfig {
+        lint: false,
+        ..StaticCheckConfig::tuner()
+    };
+    staticcheck_kernel(
+        kernel.as_ref(),
+        &range,
+        device,
+        problem.memory(),
+        &scfg,
+        &cfg.label(),
+    )
+    .findings
+    .into_iter()
+    .map(|f| format!("{}: {}", f.kind, f.detail))
+    .collect()
+}
+
 /// Sweep a configuration over all candidate local sizes on a device.
 ///
 /// Measurement conditions match the Fig. 6 harness: warm caches (one
@@ -219,12 +253,22 @@ pub fn sweep_config<C: ComplexField>(
     let tol = problem.validation_tolerance();
     let mut outcomes = Vec::with_capacity(candidates.len());
     for ls in candidates {
-        // Static gate first: never launch what the linter flags.
+        // Static gates first: never launch what the linter flags, and
+        // never *time* a candidate the access analyzer proves racy or
+        // out of bounds over the full ND-range.
         let findings = lint_candidate(problem, cfg, ls, device);
         if !findings.is_empty() {
             outcomes.push(CandidateOutcome::Rejected {
                 local_size: ls,
                 reason: Reject::Lint(findings),
+            });
+            continue;
+        }
+        let proofs = static_candidate(problem, cfg, ls, device);
+        if !proofs.is_empty() {
+            outcomes.push(CandidateOutcome::Rejected {
+                local_size: ls,
+                reason: Reject::Static(proofs),
             });
             continue;
         }

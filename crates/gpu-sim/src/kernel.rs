@@ -74,6 +74,16 @@ pub struct Lane<'a> {
     /// *recorded* — so memcheck can report them — but the backing memory
     /// operation is skipped (loads return 0.0) instead of panicking.
     tolerant: bool,
+    /// Probe mode (static analysis): the lane records its event stream
+    /// but never mutates device state — stores and atomics are dropped
+    /// (atomics read back 0.0) so a symbolic probe run leaves memory,
+    /// including the init-tracking bitmap, exactly as it found it.
+    /// Implies tolerant gating.
+    probe: bool,
+    /// Probe-mode capture of 4-byte load values, `(event_index, value)`:
+    /// the index tables a kernel gathers through.  The footprint fitter
+    /// uses these to explain data-dependent addresses.
+    u32_log: Option<&'a mut Vec<(usize, u32)>>,
 }
 
 impl<'a> Lane<'a> {
@@ -97,7 +107,33 @@ impl<'a> Lane<'a> {
             local,
             events,
             tolerant: false,
+            probe: false,
+            u32_log: None,
         }
+    }
+
+    /// Construct a *probe* lane for the static analyzer: tolerant,
+    /// side-effect free (stores and atomics record their event but never
+    /// touch memory), and logging every 4-byte load value into `u32_log`
+    /// keyed by event index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_probe(
+        global_id: u64,
+        local_id: u32,
+        group_id: u64,
+        local_size: u32,
+        mem: &'a DeviceMemory,
+        local: &'a mut LocalMem,
+        events: &'a mut Vec<Event>,
+        u32_log: &'a mut Vec<(usize, u32)>,
+    ) -> Self {
+        let mut lane = Self::new(
+            global_id, local_id, group_id, local_size, mem, local, events,
+        );
+        lane.tolerant = true;
+        lane.probe = true;
+        lane.u32_log = Some(u32_log);
+        lane
     }
 
     /// Switch this lane to tolerant mode (used by sanitized launches so
@@ -161,7 +197,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn st_global_f64(&mut self, addr: u64, v: f64) {
         self.events.push(Event::GlobalStore { addr, bytes: 8 });
-        if self.global_ok(addr, 8, 8) {
+        if !self.probe && self.global_ok(addr, 8, 8) {
             self.mem.write_f64(addr, v);
         }
     }
@@ -170,10 +206,15 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn ld_global_u32(&mut self, addr: u64) -> u32 {
         self.events.push(Event::GlobalLoad { addr, bytes: 4 });
-        if !self.global_ok(addr, 4, 4) {
-            return 0;
+        let v = if self.global_ok(addr, 4, 4) {
+            self.mem.read_u32(addr)
+        } else {
+            0
+        };
+        if let Some(log) = self.u32_log.as_deref_mut() {
+            log.push((self.events.len() - 1, v));
         }
-        self.mem.read_u32(addr)
+        v
     }
 
     /// Load a complex number (two consecutive 8-byte words, issued as
@@ -211,7 +252,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn st_global_c64_vec(&mut self, addr: u64, re: f64, im: f64) {
         self.events.push(Event::GlobalStore { addr, bytes: 16 });
-        if self.global_ok(addr, 8, 16) {
+        if !self.probe && self.global_ok(addr, 8, 16) {
             self.mem.write_f64(addr, re);
             self.mem.write_f64(addr + 8, im);
         }
@@ -222,7 +263,7 @@ impl<'a> Lane<'a> {
     #[inline]
     pub fn atomic_add_global_f64(&mut self, addr: u64, v: f64) -> f64 {
         self.events.push(Event::AtomicRmw { addr, bytes: 8 });
-        if !self.global_ok(addr, 8, 8) {
+        if self.probe || !self.global_ok(addr, 8, 8) {
             return 0.0;
         }
         self.mem.atomic_add_f64(addr, v)
@@ -250,7 +291,7 @@ impl<'a> Lane<'a> {
             offset: off,
             bytes: 8,
         });
-        if self.local_ok(off, 8) {
+        if !self.probe && self.local_ok(off, 8) {
             self.local.write_f64(off, v);
         }
     }
@@ -276,7 +317,7 @@ impl<'a> Lane<'a> {
             offset: off,
             bytes: 16,
         });
-        if self.local_ok(off, 16) {
+        if !self.probe && self.local_ok(off, 16) {
             self.local.write_f64(off, re);
             self.local.write_f64(off + 8, im);
         }
@@ -366,6 +407,38 @@ mod tests {
         assert_eq!(lane.ld_global_f64(buf.addr(0)), 4.0);
         // Every access was recorded regardless, for the sanitizer.
         assert_eq!(events.len(), 6);
+    }
+
+    #[test]
+    fn probe_lane_records_without_side_effects() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc(64, "t");
+        mem.write_f64(buf.addr(0), 4.0);
+        mem.write_u32(buf.addr(32), 17);
+        let mut local = LocalMem::new(32);
+        let mut events = Vec::new();
+        let mut log = Vec::new();
+        {
+            let mut lane = Lane::new_probe(0, 0, 0, 1, &mem, &mut local, &mut events, &mut log);
+            // Loads still observe real values (gather tables)...
+            assert_eq!(lane.ld_global_f64(buf.addr(0)), 4.0);
+            assert_eq!(lane.ld_global_u32(buf.addr(32)), 17);
+            // ...but stores and atomics are recorded without executing.
+            lane.st_global_f64(buf.addr(8), 9.0);
+            lane.st_global_c64_vec(buf.addr(16), 1.0, 2.0);
+            assert_eq!(lane.atomic_add_global_f64(buf.addr(0), 1.0), 0.0);
+            lane.st_local_f64(0, 5.0);
+            lane.st_local_c64(16, 5.0, 6.0);
+            // Out-of-arena access is tolerated (recorded, skipped).
+            assert_eq!(lane.ld_global_f64(1 << 40), 0.0);
+        }
+        assert_eq!(mem.read_f64(buf.addr(0)), 4.0);
+        assert_eq!(mem.read_f64(buf.addr(8)), 0.0);
+        assert_eq!(local.read_f64(0), 0.0);
+        assert_eq!(local.read_f64(16), 0.0);
+        assert_eq!(events.len(), 8);
+        // The 4-byte load value was captured, keyed by event index.
+        assert_eq!(log, vec![(1, 17)]);
     }
 
     #[test]

@@ -91,6 +91,7 @@ pub mod profile;
 pub mod queue;
 pub mod sanitizer;
 pub mod sharedmem;
+pub mod staticcheck;
 pub mod timing;
 pub mod warp;
 
@@ -109,5 +110,9 @@ pub use profile::ProfileReport;
 pub use queue::{Queue, QueueMode};
 pub use sanitizer::{
     lint_launch, Finding, FindingKind, LintKind, SanitizerConfig, SanitizerReport,
+};
+pub use staticcheck::{
+    analyze as staticcheck_analyze, build_launch_model, LaunchModel, PhaseRep, SlotSummary,
+    StaticCheckConfig, StaticReport, TrafficPrediction,
 };
 pub use timing::TimingModel;

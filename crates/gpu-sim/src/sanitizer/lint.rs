@@ -83,14 +83,18 @@ pub fn lint_launch(
     };
 
     let local = range.local;
-    if local == 0 || local > device.max_group_size {
+    // An invalid local size makes every rule that divides by or compares
+    // against the local size meaningless — but *only* those rules: the
+    // size-independent lints (local-memory capacity, barrier structure)
+    // must still be reported so one bad parameter cannot mask another.
+    let size_valid = local > 0 && local <= device.max_group_size;
+    if !size_valid {
         push(
             LintKind::InvalidLocalSize,
             format!("local size {local} outside 1..={}", device.max_group_size),
         );
-        return out; // everything below divides by or compares the local size
     }
-    if range.global == 0 || !range.global.is_multiple_of(local as u64) {
+    if size_valid && (range.global == 0 || !range.global.is_multiple_of(local as u64)) {
         push(
             LintKind::IndivisibleGlobal,
             format!("global size {} % local size {local} != 0", range.global),
@@ -106,7 +110,7 @@ pub fn lint_launch(
         );
     }
     let group_registers = res.registers_per_item.saturating_mul(local);
-    if group_registers > device.registers_per_sm {
+    if size_valid && group_registers > device.registers_per_sm {
         push(
             LintKind::RegisterPressure,
             format!(
@@ -115,13 +119,13 @@ pub fn lint_launch(
             ),
         );
     }
-    if !local.is_multiple_of(device.warp_size) {
+    if size_valid && !local.is_multiple_of(device.warp_size) {
         push(
             LintKind::WarpUnaligned,
             format!("local size {local} % warp size {} != 0", device.warp_size),
         );
     }
-    if local_size_multiple > 1 && !local.is_multiple_of(local_size_multiple) {
+    if size_valid && local_size_multiple > 1 && !local.is_multiple_of(local_size_multiple) {
         push(
             LintKind::SiteBlockMismatch,
             format!("local size {local} % site block {local_size_multiple} != 0"),
@@ -243,9 +247,24 @@ mod tests {
     }
 
     #[test]
-    fn invalid_local_size_short_circuits() {
+    fn invalid_local_size_skips_only_size_dependent_rules() {
         let d = DeviceSpec::a100();
+        // Nothing else wrong: only the size finding (the size-dependent
+        // rules — divisibility, registers, warp alignment, site block —
+        // are meaningless and stay silent rather than firing spuriously).
         let f = lint_launch(&d, &NdRange::linear(100, 0), &res(32, 0), 1, 12);
         assert_eq!(kinds(&f), vec![LintKind::InvalidLocalSize]);
+        // Size-independent findings are still reported alongside it:
+        // an oversized local allocation and a barrier-free kernel using
+        // local memory do not depend on the local size at all.
+        let f = lint_launch(&d, &NdRange::linear(100, 0), &res(32, 256 * 1024), 1, 12);
+        assert_eq!(
+            kinds(&f),
+            vec![
+                LintKind::InvalidLocalSize,
+                LintKind::LocalMemCapacity,
+                LintKind::LocalMemNoBarrier,
+            ]
+        );
     }
 }

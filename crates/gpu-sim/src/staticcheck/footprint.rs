@@ -1,0 +1,458 @@
+//! The affine footprint model: per-instruction address expressions
+//! inferred from probe samples.
+//!
+//! Every lane of a launch is identified by `(group g, block m, residue q)`
+//! with `local_id = m·Q + q` for the kernel's residue period `Q` (the
+//! lcm of the declared site-block multiple and the warp size — the
+//! period after which the paper's index decompositions repeat).  For a
+//! fixed residue the instruction stream has a fixed *shape*, and each
+//! memory instruction's address is fitted to one of three forms:
+//!
+//! * **affine** — `addr = base + Δg·g + Δm·m`; extrapolates exactly to
+//!   every lane of the ND-range (the common case: `C`, `target`, local
+//!   accumulators);
+//! * **gather** — `addr = base + scale·v` where `v` is the value an
+//!   earlier 4-byte load of the *same lane* observed (the `nbr`/`target`
+//!   table indirections; chains — `U` through `target`, `B` through
+//!   `nbr` — fit because the fit is against the captured value itself);
+//! * **residual** — neither form explains all probe samples (e.g. the
+//!   register-spill slots, whose address wraps modulo the spill arena);
+//!   only the probed samples are known, and every whole-range claim
+//!   about such a slot is downgraded to a note.
+
+use crate::event::Event;
+use crate::memory::DeviceMemory;
+
+/// A probed lane's recorded stream plus captured 4-byte load values.
+pub(crate) struct ProbeSample {
+    pub group: u64,
+    pub block: u64,
+    pub events: Vec<Event>,
+    /// `(event_index, value)` for every 4-byte global load.
+    pub u32_values: Vec<(usize, u32)>,
+}
+
+/// Fitted address expression of one memory instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AddrForm {
+    /// `addr = base + per_group·g + per_block·m`, validated on every
+    /// probe sample; exact over the whole ND-range.
+    Affine {
+        /// Address at `g = 0, m = 0`.
+        base: i128,
+        /// Address increment per work-group.
+        per_group: i128,
+        /// Address increment per residue block within a group.
+        per_block: i128,
+    },
+    /// `addr = base + scale·v` with `v` the value loaded by the 4-byte
+    /// load at event index `src_event` of the same lane.
+    Gather {
+        /// Offset of the gathered region.
+        base: i128,
+        /// Bytes per index-table unit.
+        scale: i128,
+        /// Event index of the explaining 4-byte load.
+        src_event: usize,
+    },
+    /// No closed form found: only the probe samples are known.
+    Residual,
+}
+
+/// What a memory instruction does (addressing space and direction).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SlotKind {
+    /// Global load.
+    GlobalLoad,
+    /// Global store.
+    GlobalStore,
+    /// Global atomic read-modify-write.
+    GlobalAtomic,
+    /// Work-group local load.
+    LocalLoad,
+    /// Work-group local store.
+    LocalStore,
+}
+
+impl SlotKind {
+    /// Whether the slot writes memory.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            SlotKind::GlobalStore | SlotKind::GlobalAtomic | SlotKind::LocalStore
+        )
+    }
+
+    /// Whether the slot addresses work-group local memory.
+    pub fn is_local(self) -> bool {
+        matches!(self, SlotKind::LocalLoad | SlotKind::LocalStore)
+    }
+
+    /// Short mnemonic for reports.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            SlotKind::GlobalLoad => "ld",
+            SlotKind::GlobalStore => "st",
+            SlotKind::GlobalAtomic => "atom",
+            SlotKind::LocalLoad => "ld.local",
+            SlotKind::LocalStore => "st.local",
+        }
+    }
+}
+
+/// One memory instruction of one residue's stream, with its fitted form
+/// and the raw probe observations backing it.
+#[derive(Clone, Debug)]
+pub struct MemSlot {
+    /// Index of this instruction in the residue's event stream.
+    pub event_idx: usize,
+    /// Space and direction.
+    pub kind: SlotKind,
+    /// Access width in bytes.
+    pub bytes: u8,
+    /// Fitted address expression.
+    pub form: AddrForm,
+    /// Allocation label of the representative sample (global slots).
+    pub label: Option<String>,
+    /// `(group, block, addr)` probe observations.
+    pub samples: Vec<(u64, u64, u64)>,
+}
+
+/// The per-residue instruction stream: a representative event sequence
+/// (addresses are the residue's first probe sample) plus the fitted
+/// memory slots in event order.
+#[derive(Clone, Debug)]
+pub struct ResidueShape {
+    /// Representative event sequence.
+    pub events: Vec<Event>,
+    /// Fitted memory instructions, ascending `event_idx`.
+    pub slots: Vec<MemSlot>,
+}
+
+impl ResidueShape {
+    /// The slot at a given event index, if that event is a memory access.
+    pub fn slot_at(&self, event_idx: usize) -> Option<&MemSlot> {
+        self.slots
+            .binary_search_by_key(&event_idx, |s| s.event_idx)
+            .ok()
+            .map(|i| &self.slots[i])
+    }
+}
+
+/// One barrier phase of the launch model.
+#[derive(Clone, Debug)]
+pub enum PhaseModel {
+    /// Every residue's stream shape is (group, block)-invariant: the
+    /// per-residue shapes cover the whole ND-range.
+    Uniform(Vec<ResidueShape>),
+    /// Probe samples of some residue disagreed on stream shape — the
+    /// kernel's control flow depends on more than the residue, and no
+    /// whole-range claim is made for this phase.
+    Irregular(String),
+}
+
+/// The inferred whole-launch access model.
+#[derive(Debug)]
+pub struct LaunchModel {
+    /// Work-group size.
+    pub local_size: u32,
+    /// Number of work-groups.
+    pub num_groups: u64,
+    /// Residue period `Q` (`local_id = block·Q + residue`).
+    pub q_len: u32,
+    /// Residue blocks per group (`local_size / Q`).
+    pub blocks_per_group: u64,
+    /// Probed group ids.
+    pub probed_groups: Vec<u64>,
+    /// Probed block ids.
+    pub probed_blocks: Vec<u64>,
+    /// Total symbolic lane evaluations used.
+    pub probes: usize,
+    /// Declared local memory per group, bytes.
+    pub local_mem_bytes: u32,
+    /// Per-phase models.
+    pub phases: Vec<PhaseModel>,
+}
+
+impl LaunchModel {
+    /// Decompose a local id into `(residue, block)`.
+    pub fn residue_of(&self, lid: u32) -> (u32, u64) {
+        (lid % self.q_len, (lid / self.q_len) as u64)
+    }
+
+    /// Resolve the address of `slot` for the lane `(group, block)`,
+    /// following gather chains through the live index tables in `mem`.
+    /// `None` when the form is residual (and `(group, block)` was not
+    /// probed) or a gather source address falls outside the arena.
+    pub fn resolve_addr(
+        &self,
+        mem: &DeviceMemory,
+        shape: &ResidueShape,
+        slot: &MemSlot,
+        group: u64,
+        block: u64,
+    ) -> Option<u64> {
+        match slot.form {
+            AddrForm::Affine {
+                base,
+                per_group,
+                per_block,
+            } => {
+                let a = base + per_group * group as i128 + per_block * block as i128;
+                u64::try_from(a).ok()
+            }
+            AddrForm::Gather {
+                base,
+                scale,
+                src_event,
+            } => {
+                let src = shape.slot_at(src_event)?;
+                let src_addr = self.resolve_addr(mem, shape, src, group, block)?;
+                if !src_addr.is_multiple_of(4) || mem.check(src_addr, 4).is_err() {
+                    return None;
+                }
+                let v = mem.read_u32(src_addr) as i128;
+                u64::try_from(base + scale * v).ok()
+            }
+            AddrForm::Residual => slot
+                .samples
+                .iter()
+                .find(|&&(g, m, _)| g == group && m == block)
+                .map(|&(_, _, a)| a),
+        }
+    }
+
+    /// Predict the full event stream of lane `(group, local_id)` in a
+    /// phase, resolving every address from the fitted footprints (gather
+    /// chains read the live index tables in `mem`).  `None` when the
+    /// phase is irregular or a residual slot has no probe sample for
+    /// this `(group, block)`.
+    pub fn predicted_stream(
+        &self,
+        mem: &DeviceMemory,
+        phase: usize,
+        group: u64,
+        local_id: u32,
+    ) -> Option<Vec<Event>> {
+        let PhaseModel::Uniform(shapes) = self.phases.get(phase)? else {
+            return None;
+        };
+        let (q, m) = self.residue_of(local_id);
+        let shape = shapes.get(q as usize)?;
+        let mut out = Vec::with_capacity(shape.events.len());
+        for (idx, ev) in shape.events.iter().enumerate() {
+            let rebuilt = if let Some(slot) = shape.slot_at(idx) {
+                let addr = self.resolve_addr(mem, shape, slot, group, m)?;
+                match slot.kind {
+                    SlotKind::GlobalLoad => Event::GlobalLoad {
+                        addr,
+                        bytes: slot.bytes,
+                    },
+                    SlotKind::GlobalStore => Event::GlobalStore {
+                        addr,
+                        bytes: slot.bytes,
+                    },
+                    SlotKind::GlobalAtomic => Event::AtomicRmw {
+                        addr,
+                        bytes: slot.bytes,
+                    },
+                    SlotKind::LocalLoad => Event::LocalLoad {
+                        offset: u32::try_from(addr).ok()?,
+                        bytes: slot.bytes,
+                    },
+                    SlotKind::LocalStore => Event::LocalStore {
+                        offset: u32::try_from(addr).ok()?,
+                        bytes: slot.bytes,
+                    },
+                }
+            } else {
+                *ev
+            };
+            out.push(rebuilt);
+        }
+        Some(out)
+    }
+}
+
+/// Whether two probe streams have the same *shape*: identical event
+/// kinds and widths, with non-memory payloads (paths, op counts) equal —
+/// addresses are allowed to differ, that is what the fit explains.
+pub(crate) fn same_shape(a: &[Event], b: &[Event]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Event::GlobalLoad { bytes: p, .. }, Event::GlobalLoad { bytes: q, .. })
+            | (Event::GlobalStore { bytes: p, .. }, Event::GlobalStore { bytes: q, .. })
+            | (Event::AtomicRmw { bytes: p, .. }, Event::AtomicRmw { bytes: q, .. })
+            | (Event::LocalLoad { bytes: p, .. }, Event::LocalLoad { bytes: q, .. })
+            | (Event::LocalStore { bytes: p, .. }, Event::LocalStore { bytes: q, .. }) => p == q,
+            (x, y) => x == y,
+        })
+}
+
+fn event_slot_kind(ev: &Event) -> Option<(SlotKind, u8, u64)> {
+    match *ev {
+        Event::GlobalLoad { addr, bytes } => Some((SlotKind::GlobalLoad, bytes, addr)),
+        Event::GlobalStore { addr, bytes } => Some((SlotKind::GlobalStore, bytes, addr)),
+        Event::AtomicRmw { addr, bytes } => Some((SlotKind::GlobalAtomic, bytes, addr)),
+        Event::LocalLoad { offset, bytes } => Some((SlotKind::LocalLoad, bytes, offset as u64)),
+        Event::LocalStore { offset, bytes } => Some((SlotKind::LocalStore, bytes, offset as u64)),
+        _ => None,
+    }
+}
+
+/// Fit one residue's memory slots from its probe samples (all of which
+/// already passed [`same_shape`]).
+pub(crate) fn fit_residue(samples: &[ProbeSample], mem: &DeviceMemory) -> ResidueShape {
+    let rep = &samples[0];
+    let mut slots = Vec::new();
+    for (idx, ev) in rep.events.iter().enumerate() {
+        let Some((kind, bytes, _)) = event_slot_kind(ev) else {
+            continue;
+        };
+        let obs: Vec<(u64, u64, u64)> = samples
+            .iter()
+            .map(|s| {
+                let (_, _, a) = event_slot_kind(&s.events[idx]).expect("same shape");
+                (s.group, s.block, a)
+            })
+            .collect();
+        let form = fit_affine(&obs)
+            .or_else(|| {
+                if kind.is_local() {
+                    None
+                } else {
+                    fit_gather(samples, idx, &obs)
+                }
+            })
+            .unwrap_or(AddrForm::Residual);
+        let label = if kind.is_local() {
+            None
+        } else {
+            mem.find_allocation(obs[0].2).map(|(_, _, l)| l.to_string())
+        };
+        slots.push(MemSlot {
+            event_idx: idx,
+            kind,
+            bytes,
+            form,
+            label,
+            samples: obs,
+        });
+    }
+    ResidueShape {
+        events: rep.events.clone(),
+        slots,
+    }
+}
+
+/// Fit `addr = base + Δg·g + Δm·m` and validate on every sample.
+fn fit_affine(obs: &[(u64, u64, u64)]) -> Option<AddrForm> {
+    let (g0, m0, a0) = obs[0];
+    let (g0, m0, a0) = (g0 as i128, m0 as i128, a0 as i128);
+    // Coefficients from the first pair that isolates each index.
+    let mut per_group: Option<i128> = None;
+    let mut per_block: Option<i128> = None;
+    for &(g, m, a) in obs.iter().skip(1) {
+        let (g, m, a) = (g as i128, m as i128, a as i128);
+        if per_group.is_none() && g != g0 && m == m0 {
+            let d = a - a0;
+            if !divides_evenly(d, g - g0) {
+                return None;
+            }
+            per_group = Some(d / (g - g0));
+        }
+        if per_block.is_none() && m != m0 && g == g0 {
+            let d = a - a0;
+            if !divides_evenly(d, m - m0) {
+                return None;
+            }
+            per_block = Some(d / (m - m0));
+        }
+    }
+    let per_group = per_group.unwrap_or(0);
+    let per_block = per_block.unwrap_or(0);
+    let base = a0 - per_group * g0 - per_block * m0;
+    for &(g, m, a) in obs {
+        if base + per_group * g as i128 + per_block * m as i128 != a as i128 {
+            return None;
+        }
+    }
+    Some(AddrForm::Affine {
+        base,
+        per_group,
+        per_block,
+    })
+}
+
+fn divides_evenly(d: i128, q: i128) -> bool {
+    q != 0 && d % q == 0
+}
+
+/// Fit `addr = base + scale·v` against the values captured by earlier
+/// 4-byte loads of the same lane, nearest source first (gather chains —
+/// `B` through `nbr`, `U` through `target` — fit directly because the
+/// captured value *is* the chained index).
+fn fit_gather(samples: &[ProbeSample], idx: usize, obs: &[(u64, u64, u64)]) -> Option<AddrForm> {
+    // Candidate sources: u32 loads strictly before this event.
+    let candidates: Vec<usize> = samples[0]
+        .u32_values
+        .iter()
+        .map(|&(e, _)| e)
+        .filter(|&e| e < idx)
+        .rev()
+        .collect();
+    'cand: for src in candidates {
+        let vals: Vec<i128> = samples
+            .iter()
+            .map(|s| {
+                s.u32_values
+                    .iter()
+                    .find(|&&(e, _)| e == src)
+                    .map(|&(_, v)| v as i128)
+            })
+            .collect::<Option<_>>()?;
+        let a0 = obs[0].2 as i128;
+        let v0 = vals[0];
+        let mut scale: Option<i128> = None;
+        for (&(_, _, a), &v) in obs.iter().zip(&vals).skip(1) {
+            if v != v0 {
+                let d = a as i128 - a0;
+                if !divides_evenly(d, v - v0) {
+                    continue 'cand;
+                }
+                scale = Some(d / (v - v0));
+                break;
+            }
+        }
+        let Some(scale) = scale else {
+            continue; // source never varies: cannot explain a varying address
+        };
+        let base = a0 - scale * v0;
+        if obs
+            .iter()
+            .zip(&vals)
+            .all(|(&(_, _, a), &v)| base + scale * v == a as i128)
+        {
+            return Some(AddrForm::Gather {
+                base,
+                scale,
+                src_event: src,
+            });
+        }
+    }
+    None
+}
+
+/// Render a form for reports: the shape without the base address, so
+/// identical access patterns at different offsets fold together.
+pub(crate) fn form_signature(form: &AddrForm) -> String {
+    match form {
+        AddrForm::Affine {
+            per_group,
+            per_block,
+            ..
+        } => format!("affine Δg={per_group} Δm={per_block}"),
+        AddrForm::Gather { scale, .. } => format!("gather ×{scale}"),
+        AddrForm::Residual => "residual".to_string(),
+    }
+}

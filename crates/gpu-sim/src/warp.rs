@@ -55,7 +55,9 @@ pub struct ReplaySinks<'a> {
 }
 
 /// One lane's stream split into `(path, start, end)` segments.
-fn segment(stream: &[Event]) -> Vec<(u32, usize, usize)> {
+/// Shared with the static analyzer (`staticcheck`), which replays
+/// *predicted* streams through the same alignment rules.
+pub(crate) fn segment(stream: &[Event]) -> Vec<(u32, usize, usize)> {
     let mut segs = Vec::with_capacity(4);
     let mut path = 0u32;
     let mut start = 0usize;

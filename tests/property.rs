@@ -480,3 +480,179 @@ proptest! {
         prop_assert_eq!(parsed.counters, trace.counters);
     }
 }
+
+// ---------------------------------------------------------------------
+// Static-analysis invariants: the fitted footprint model must
+// reproduce the dynamic event streams of the lanes it probed, the
+// static race verdict must agree with the dynamic racecheck on clean
+// *and* broken kernels, and the static traffic prediction must equal
+// the dynamic architectural counters exactly.
+
+/// Strategies that are legal on a 2^4 lattice (half-volume 8), each
+/// with a legal local size.
+const STATIC_CONFIGS: [(Strategy, IndexOrder, u32); 5] = [
+    (Strategy::TwoLp, IndexOrder::KMajor, 24),
+    (Strategy::ThreeLp1, IndexOrder::KMajor, 96),
+    (Strategy::ThreeLp2, IndexOrder::IMajor, 96),
+    (Strategy::ThreeLp3, IndexOrder::KMajor, 96),
+    (Strategy::FourLp2, IndexOrder::IMajor, 96),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For every `(group, block, residue)` point the analyzer probed,
+    /// re-running the lane dynamically must produce *exactly* the event
+    /// stream the fitted model predicts — the affine/gather forms
+    /// round-trip the observations they were fitted from, address by
+    /// address.
+    #[test]
+    fn static_footprints_reproduce_probed_lane_streams(
+        seed in 0u64..200,
+        idx in 0usize..STATIC_CONFIGS.len(),
+    ) {
+        use gpu_sim::sharedmem::LocalMem;
+        use gpu_sim::staticcheck::PhaseModel;
+        use gpu_sim::{build_launch_model, Lane};
+
+        let (s, o, ls) = STATIC_CONFIGS[idx];
+        let p = DslashProblem::<Z>::random(2, seed);
+        let cfg = KernelConfig::new(s, o);
+        let range = p.launch_range(cfg, ls);
+        let kernel = p.make_kernel(cfg, range.num_groups());
+        let dev = DeviceSpec::a100();
+        let model = build_launch_model(kernel.as_ref(), &range, &dev, p.memory());
+        let res = kernel.resources(range.local);
+        let mut local_mem = LocalMem::new(res.local_mem_bytes_per_group);
+        for (phase, pm) in model.phases.iter().enumerate() {
+            prop_assert!(
+                matches!(pm, PhaseModel::Uniform(_)),
+                "{} phase {phase} unexpectedly irregular", s.name()
+            );
+            for &grp in &model.probed_groups {
+                for &blk in &model.probed_blocks {
+                    for q in 0..model.q_len {
+                        let lid = blk as u32 * model.q_len + q;
+                        let gid = grp * range.local as u64 + u64::from(lid);
+                        let mut events = Vec::new();
+                        let mut u32s = Vec::new();
+                        {
+                            let mut lane = Lane::new_probe(
+                                gid, lid, grp, range.local, p.memory(),
+                                &mut local_mem, &mut events, &mut u32s,
+                            );
+                            kernel.run_phase(phase, &mut lane);
+                        }
+                        let predicted = model
+                            .predicted_stream(p.memory(), phase, grp, lid)
+                            .expect("uniform phase predicts every lane");
+                        prop_assert_eq!(
+                            &predicted, &events,
+                            "{} phase {} lane (g{}, lid {})", s.name(), phase, grp, lid
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The static race verdict and the dynamic racecheck agree in both
+/// directions: every shipped configuration is race-free under both,
+/// and both convict the two deliberately racy kernels.
+#[test]
+fn static_and_dynamic_race_verdicts_agree() {
+    use gpu_sim::{Kernel, Launcher, NdRange, SanitizerConfig, StaticCheckConfig};
+    use milc_dslash::{
+        run_config_sanitized, run_config_staticcheck, BrokenBarrierThreeLp1, PlainStoreThreeLp3,
+    };
+
+    let dev = DeviceSpec::a100();
+    for (s, o, ls) in STATIC_CONFIGS {
+        let mut p = DslashProblem::<Z>::random(2, 11);
+        let cfg = KernelConfig::new(s, o);
+        let srep = run_config_staticcheck(&p, cfg, ls, &dev, &StaticCheckConfig::tuner()).unwrap();
+        assert_eq!(
+            srep.count_class("race"),
+            0,
+            "{}: static race findings: {:?}",
+            s.name(),
+            srep.findings
+        );
+        let drep = run_config_sanitized(&mut p, cfg, ls, &dev, SanitizerConfig::default()).unwrap();
+        assert_eq!(
+            drep.sanitizer.as_ref().unwrap().count_class("race"),
+            0,
+            "{}: dynamic race findings",
+            s.name()
+        );
+    }
+
+    let p = DslashProblem::<Z>::random(2, 12);
+    let hv = p.lattice().half_volume() as u64;
+    let t = p.tables();
+    let racy: [(Box<dyn Kernel>, NdRange); 2] = [
+        (
+            Box::new(BrokenBarrierThreeLp1::new(t)),
+            NdRange::linear(hv * 12, 96),
+        ),
+        (
+            Box::new(PlainStoreThreeLp3::new(t)),
+            NdRange::linear(hv * 12, 96),
+        ),
+    ];
+    for (kernel, range) in racy {
+        let srep = gpu_sim::staticcheck_analyze(
+            kernel.as_ref(),
+            &range,
+            &dev,
+            p.memory(),
+            &StaticCheckConfig::default(),
+        );
+        assert!(
+            srep.count_class("race") >= 1,
+            "{}: race not proven statically: {:?}",
+            kernel.name(),
+            srep.findings
+        );
+        let lrep = Launcher::new(&dev)
+            .with_sanitizer(SanitizerConfig::default())
+            .launch(kernel.as_ref(), range, p.memory())
+            .unwrap();
+        assert!(
+            lrep.sanitizer.as_ref().unwrap().count_class("race") >= 1,
+            "{}: race not caught dynamically",
+            kernel.name()
+        );
+    }
+}
+
+/// The whole-launch traffic prediction is not a model of the dynamic
+/// replay — it *is* the dynamic replay, reached without executing the
+/// kernel: all predicted counters must equal the executed launch's
+/// exactly.
+#[test]
+fn static_traffic_prediction_matches_dynamic_counters_exactly() {
+    use gpu_sim::{StaticCheckConfig, TrafficPrediction};
+    use milc_dslash::run_config_staticcheck;
+
+    let dev = DeviceSpec::a100();
+    for (s, o, ls) in STATIC_CONFIGS {
+        if ls % dev.warp_size != 0 {
+            continue; // sub-warp groups get no whole-launch prediction
+        }
+        let mut p = DslashProblem::<Z>::random(2, 13);
+        let cfg = KernelConfig::new(s, o);
+        let srep = run_config_staticcheck(&p, cfg, ls, &dev, &StaticCheckConfig::full()).unwrap();
+        let predicted = srep
+            .traffic
+            .unwrap_or_else(|| panic!("{}: no prediction: {:?}", s.name(), srep.notes));
+        let out = run_config(&mut p, cfg, ls, &dev, QueueMode::InOrder).unwrap();
+        assert_eq!(
+            predicted.rows(),
+            TrafficPrediction::dynamic_rows(&out.report.counters),
+            "{}: predicted traffic must equal the executed launch",
+            s.name()
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden snapshot of the static analyzer's verdicts: the rendered
+//! `StaticReport` for each of the twelve Table I configurations at
+//! L = 8 is pinned in `tests/snapshots/staticcheck_golden.txt` — same
+//! footprint signatures, same phase-representative metrics, same
+//! (empty) finding lists.  A fitted coefficient drifting, a footprint
+//! degrading from affine to residual, or a new false positive all fail
+//! here before they reach the `staticcheck` gate.
+//!
+//! **Updating the snapshot** (after an *intentional* analyzer or kernel
+//! change):
+//!
+//! ```text
+//! STATICCHECK_GOLDEN_UPDATE=1 cargo test --test staticcheck_golden
+//! ```
+//!
+//! then review the diff of `tests/snapshots/staticcheck_golden.txt` —
+//! every changed line is a statement the analyzer proves about a
+//! shipped kernel.
+
+use gpu_sim::StaticCheckConfig;
+use milc_bench::{paper, Experiment};
+use milc_complex::DoubleComplex;
+use milc_dslash::{run_config_staticcheck, DslashProblem, KernelConfig};
+use std::path::PathBuf;
+
+const L: usize = 8;
+const SEED: u64 = 2024;
+
+fn snapshot_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("snapshots")
+        .join("staticcheck_golden.txt")
+}
+
+/// Analyze the twelve Table I configurations (proof set, no full
+/// traffic enumeration — the `staticcheck` bin owns that) and render
+/// the concatenated reports.
+fn rendered_reports() -> String {
+    let exp = Experiment::new(L, SEED);
+    let problem = DslashProblem::<DoubleComplex>::random(L, exp.seed);
+    let mut out = String::new();
+    for col in paper::TABLE1.iter() {
+        let cfg = KernelConfig::new(col.strategy, col.order);
+        let ls = paper::table1_local_size(col.strategy);
+        let report = run_config_staticcheck(
+            &problem,
+            cfg,
+            ls,
+            &exp.device,
+            &StaticCheckConfig::default(),
+        )
+        .expect("table 1 configuration must be analyzable");
+        out.push_str(&report.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn table1_static_verdicts_match_the_golden_snapshot() {
+    let rendered = rendered_reports();
+    let path = snapshot_path();
+
+    if std::env::var_os("STATICCHECK_GOLDEN_UPDATE").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("staticcheck_golden: snapshot updated at {}", path.display());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); generate it with \
+             STATICCHECK_GOLDEN_UPDATE=1 cargo test --test staticcheck_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered,
+        golden,
+        "static verdicts drifted from the golden snapshot ({}); if the \
+         analyzer/kernel change is intentional, regenerate with \
+         STATICCHECK_GOLDEN_UPDATE=1 cargo test --test staticcheck_golden \
+         and review the diff",
+        path.display()
+    );
+}
+
+#[test]
+fn every_pinned_verdict_is_clean_and_fully_probed() {
+    let rendered = rendered_reports();
+    assert_eq!(
+        rendered.matches("verdict: CLEAN").count(),
+        paper::TABLE1.len(),
+        "all twelve Table I configurations must be statically clean:\n{rendered}"
+    );
+    assert!(
+        !rendered.contains("finding ["),
+        "no findings may appear in the pinned reports:\n{rendered}"
+    );
+}
