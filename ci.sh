@@ -20,7 +20,10 @@ echo "== staticcheck (static analysis gate: whole-launch proofs + traffic cross-
 cargo run --offline --release -p milc-bench --bin staticcheck
 test -s results/staticcheck.md || { echo "staticcheck did not write the report"; exit 1; }
 
-echo "== tune (autotune smoke: cold sweep writes the cache, warm rerun is 100% hits) =="
+echo "== costmodel (analytic duration ranking: differential proof + golden snapshot) =="
+cargo test --offline -q --release --test costmodel_diff --test costmodel_golden
+
+echo "== tune (autotune smoke: cold sweep writes the cache, warm rerun is 100% hits, ranked sweeps avoid >= 60% of launches) =="
 TUNE_SMOKE_CACHE="$(mktemp -d)/tunecache.json"
 cargo run --offline --release -p milc-bench --bin tune -- 4 "$TUNE_SMOKE_CACHE"
 test -s "$TUNE_SMOKE_CACHE" || { echo "tune smoke did not write the cache"; exit 1; }
@@ -43,13 +46,14 @@ test -s "$SCALING_SMOKE_DIR/scaling.csv" || { echo "scaling did not write the cs
 test -s "$SCALING_SMOKE_DIR/scaling.trace.json" || { echo "scaling did not write the trace"; exit 1; }
 rm -rf "$SCALING_SMOKE_DIR"
 
-echo "== perfdiff (perf-regression gate, threshold +10%; selftest proves the FAIL path) =="
-cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --selftest
+echo "== perfdiff (perf-regression gate, threshold +10%; gates ranked-sweep winners; selftest proves the FAIL path) =="
+cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --ranked --selftest
 
 echo "== collecting artifacts =="
 ARTIFACTS_DIR="${ARTIFACTS_DIR:-target/ci-artifacts}"
 mkdir -p "$ARTIFACTS_DIR"
-cp results/*.trace.json results/metrics.txt results/staticcheck.md "$ARTIFACTS_DIR"/
+cp results/*.trace.json results/metrics.txt results/staticcheck.md \
+  results/tune.md results/tune_ranked.csv "$ARTIFACTS_DIR"/
 echo "artifacts in $ARTIFACTS_DIR: $(ls "$ARTIFACTS_DIR" | tr '\n' ' ')"
 
 echo "== CI OK =="

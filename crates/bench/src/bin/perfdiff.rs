@@ -4,7 +4,7 @@
 //! when any config regresses by more than 10% or loses coverage.
 //!
 //! Usage: `cargo run -p milc-bench --release --bin perfdiff -- [L]
-//! [--fig6] [--scaling] [--selftest] [--baseline PATH]`
+//! [--fig6] [--scaling] [--ranked] [--selftest] [--baseline PATH]`
 //!
 //! - default L = 16 matches the committed `results/table1.csv`
 //!   baseline (the simulator is deterministic, so an unchanged tree
@@ -15,28 +15,34 @@
 //!   (the strong-scaling study: sharded wall clocks at N = 1..8 under
 //!   both exchange schedules, tuned sizes from the committed
 //!   `results/tunecache.json`);
+//! - `--ranked` additionally gates every row of
+//!   `results/tune_ranked.csv` (the winners the statically pruned
+//!   sweep mode selected; each is re-measured warm at its recorded
+//!   local size);
 //! - `--selftest` then re-diffs with fresh durations inflated 1.2x and
 //!   verifies the gate trips — proof the FAIL path works, without a
 //!   second simulation;
 //! - `PERFDIFF_INFLATE=<factor>` multiplies fresh durations before the
 //!   main comparison (for demonstrating a seeded slowdown end to end).
 
+use gpu_sim::QueueMode;
 use milc_bench::perfdiff::{
-    diff, parse_fig6_baseline, parse_scaling_baseline, parse_table1_baseline, BaselineEntry,
-    REGRESSION_THRESHOLD,
+    diff, parse_fig6_baseline, parse_ranked_baseline, parse_scaling_baseline,
+    parse_table1_baseline, BaselineEntry, REGRESSION_THRESHOLD,
 };
 use milc_bench::{
-    extension_compressed_3lp1, fig6_strategies, fig6_variants, scaling_config_key, strong_scaling,
-    table1_outcomes, Experiment,
+    extension_compressed_3lp1, fig6_strategies, fig6_variants, paper, scaling_config_key,
+    strong_scaling, table1_outcomes, Experiment,
 };
 use milc_complex::{Cplx, DoubleComplex};
-use milc_dslash::{DslashProblem, IndexOrder, KernelConfig, Strategy, TuneCache};
+use milc_dslash::{run_config_warm, DslashProblem, IndexOrder, KernelConfig, Strategy, TuneCache};
 use std::path::Path;
 
 fn main() {
     let mut l: usize = 16;
     let mut with_fig6 = false;
     let mut with_scaling = false;
+    let mut with_ranked = false;
     let mut selftest = false;
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -44,6 +50,7 @@ fn main() {
         match a.as_str() {
             "--fig6" => with_fig6 = true,
             "--scaling" => with_scaling = true,
+            "--ranked" => with_ranked = true,
             "--selftest" => selftest = true,
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a path"));
@@ -110,6 +117,38 @@ fn main() {
             ),
             duration_us: r.duration_us * inflate,
         }));
+    }
+
+    if with_ranked {
+        let ranked_path = "results/tune_ranked.csv";
+        let ranked_csv = std::fs::read_to_string(ranked_path)
+            .unwrap_or_else(|e| panic!("read baseline {ranked_path}: {e}"));
+        let rows = parse_ranked_baseline(&ranked_csv)
+            .unwrap_or_else(|e| panic!("parse baseline {ranked_path}: {e}"));
+        eprintln!("re-measuring {} ranked-sweep winners warm ...", rows.len());
+        for row in rows {
+            let cfg = paper::TABLE1
+                .iter()
+                .map(|col| KernelConfig::new(col.strategy, col.order))
+                .find(|c| c.label() == row.kernel)
+                .unwrap_or_else(|| panic!("{ranked_path}: unknown kernel {:?}", row.kernel));
+            baseline.push(BaselineEntry {
+                config: format!("ranked:{}", row.kernel),
+                duration_us: row.duration_us,
+            });
+            let out = run_config_warm(
+                &mut problem,
+                cfg,
+                row.local_size,
+                &exp.device,
+                QueueMode::OutOfOrder,
+            )
+            .unwrap_or_else(|e| panic!("{}: ranked winner failed to run: {e}", row.kernel));
+            fresh.push(BaselineEntry {
+                config: format!("ranked:{}", row.kernel),
+                duration_us: out.report.duration_us * inflate,
+            });
+        }
     }
 
     if with_scaling {

@@ -1,7 +1,10 @@
 //! Static-analysis gate: proves the paper's twelve Table I
 //! configurations race-free and memory-clean *without executing them*,
 //! cross-validates the analyzer's predicted transaction counts against
-//! the dynamic coalescing/bank model (within 1%), and shows the four
+//! the dynamic coalescing/bank model (within 1%), ranks every legal
+//! local size with the analytic cost model and cross-validates the
+//! ranking against exhaustive warm sweeps (winner in the predicted
+//! top-3, Spearman ≥ 0.8 per configuration), and shows the four
 //! deliberately broken kernels are each flagged statically with the
 //! right finding class.
 //!
@@ -9,21 +12,39 @@
 //! (default L = 8, matching `sancheck`).  Writes
 //! `results/staticcheck.md`; exits non-zero if any clean configuration
 //! produces a static finding, any traffic prediction misses by more
-//! than 1%, or any defect kernel escapes static detection.
+//! than 1%, any ranking misses the duration-ranking gates, or any
+//! defect kernel escapes static detection.
 
 use gpu_sim::{
-    Kernel, Launcher, NdRange, QueueMode, SanitizerConfig, StaticCheckConfig, StaticReport,
-    TrafficPrediction,
+    spearman, Kernel, Launcher, NdRange, QueueMode, SanitizerConfig, StaticCheckConfig,
+    StaticReport, TrafficPrediction,
 };
 use milc_bench::{paper, Experiment};
 use milc_complex::DoubleComplex;
+use milc_dslash::tune::sweep_config;
 use milc_dslash::{
-    run_config, run_config_staticcheck, staticcheck_kernel, BrokenBarrierThreeLp1, DslashProblem,
-    KernelConfig, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead,
+    rank_candidates, run_config, run_config_staticcheck, staticcheck_kernel, BrokenBarrierThreeLp1,
+    DslashProblem, KernelConfig, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead,
 };
 
 /// Tolerance of the static-vs-dynamic traffic cross-validation.
 const TRAFFIC_TOL: f64 = 0.01;
+
+/// Ranking gates, matching `tests/costmodel_diff.rs`: a winner-class
+/// candidate inside the predicted top-3, Spearman ≥ 0.8.
+const RANK_TOP_K: usize = 3;
+const MIN_SPEARMAN: f64 = 0.8;
+
+/// Measured durations within 0.1% are the same candidate (the sweeps'
+/// flat middles are parts-per-million apart; real losers are tens of
+/// percent away), and Spearman compares at the same resolution.
+const WINNER_REL_TOL: f64 = 1e-3;
+
+/// Collapse noise-level duration differences into rank ties: round
+/// log-duration to multiples of `ln(1 + WINNER_REL_TOL)`.
+fn quantize(us: f64) -> f64 {
+    (us.ln() / (1.0 + WINNER_REL_TOL).ln()).round()
+}
 
 fn render_findings(report: &StaticReport) -> String {
     if report.findings.is_empty() {
@@ -176,7 +197,86 @@ fn main() {
         md.push_str(&row);
     }
 
-    // -- Part 3: the defect kernels must be flagged *statically* with
+    // -- Part 3: the analytic cost model must rank the legal local
+    //    sizes the way exhaustive measurement does: a winner-class
+    //    candidate in the predicted top-3 and Spearman ≥ 0.8 per
+    //    configuration.
+    md.push_str("\n## Duration ranking (static cost model vs exhaustive warm sweep)\n\n");
+    md.push_str(
+        "| config | candidates | measured winner | predicted top-3 | winner rank \
+         | Spearman | status |\n",
+    );
+    md.push_str("|---|---:|---|---|---:|---:|---|\n");
+    eprintln!("ranking candidates statically and sweeping exhaustively ...");
+    for col in paper::TABLE1.iter() {
+        let cfg = KernelConfig::new(col.strategy, col.order);
+        let full = sweep_config(&mut problem, cfg, &exp.device, QueueMode::OutOfOrder)
+            .expect("table 1 configuration must sweep");
+        let measured: Vec<(u32, f64)> = full
+            .timed()
+            .map(|p| (p.local_size, p.duration_us))
+            .collect();
+        let predicted: Vec<(u32, f64)> = rank_candidates(&problem, cfg, &exp.device)
+            .iter()
+            .filter_map(|r| {
+                r.estimate
+                    .as_ref()
+                    .ok()
+                    .map(|e| (r.local_size, e.duration_us))
+            })
+            .collect();
+        // Winner rank: first predicted position whose *measured*
+        // duration matches the measured winner's within tolerance.
+        let winner_us = full.winner.duration_us;
+        let winner_rank = predicted
+            .iter()
+            .position(|&(ls, _)| {
+                measured
+                    .iter()
+                    .find(|&&(m, _)| m == ls)
+                    .is_some_and(|&(_, us)| (us - winner_us).abs() / winner_us <= WINNER_REL_TOL)
+            })
+            .map(|i| i + 1);
+        let mut pred_v = Vec::new();
+        let mut meas_v = Vec::new();
+        for &(ls, pred_us) in &predicted {
+            if let Some(&(_, meas_us)) = measured.iter().find(|&&(m, _)| m == ls) {
+                pred_v.push(quantize(pred_us));
+                meas_v.push(quantize(meas_us));
+            }
+        }
+        let rho = spearman(&pred_v, &meas_v);
+        let ok = winner_rank.is_some_and(|r| r <= RANK_TOP_K)
+            && rho >= MIN_SPEARMAN
+            && predicted.len() == measured.len();
+        failed |= !ok;
+        let top3: Vec<String> = predicted
+            .iter()
+            .take(RANK_TOP_K)
+            .map(|&(ls, us)| format!("{ls} ({us:.1} µs)"))
+            .collect();
+        eprintln!(
+            "  {:16}: winner {} rank {:?}, spearman {rho:+.3} {}",
+            cfg.label(),
+            full.winner.local_size,
+            winner_rank,
+            if ok { "ok" } else { "FAIL" }
+        );
+        md.push_str(&format!(
+            "| {} | {} | {} ({:.1} µs) | {} | {} | {rho:+.3} | {} |\n",
+            cfg.label(),
+            measured.len(),
+            full.winner.local_size,
+            winner_us,
+            top3.join(", "),
+            winner_rank
+                .map(|r| format!("#{r}"))
+                .unwrap_or_else(|| "—".to_string()),
+            if ok { "ok" } else { "FAIL" }
+        ));
+    }
+
+    // -- Part 4: the defect kernels must be flagged *statically* with
     //    the class the bug belongs to (every one of these four defects
     //    is statically detectable; a kernel the analyzer could not
     //    prove faulty would be marked dynamic-only below).

@@ -1,13 +1,20 @@
 //! Autotune gate: materializes the persistent tune cache for the
 //! paper's twelve Table I configurations, then proves the cache works —
 //! an immediate warm rerun must be 100% cache hits (zero sweep
-//! launches), and at L = 16 the 3LP-1 k-major winner must match the
-//! best point of `results/fig6.csv` within 1%.
+//! launches) — and proves the statically ranked sweep mode: per
+//! configuration, `SweepMode::Ranked { time_top_k: 3 }` must land on a
+//! winner duration-equivalent to the exhaustive sweep's, and across all
+//! twelve configurations it must avoid ≥ 60% of the exhaustive sweep
+//! launches.  At L = 16 the 3LP-1 k-major winner must additionally
+//! match the best point of `results/fig6.csv` within 1%, and the
+//! ranked winners are written to `results/tune_ranked.csv` — the
+//! baseline `perfdiff --ranked` gates against.
 //!
 //! Usage: `cargo run -p milc-bench --bin tune --release [L] [cache]`
 //! (default L = 16, cache = `results/tunecache.json`).  Writes
 //! `results/tune.md`; exits non-zero if the cold sweep fails, the warm
-//! rerun misses the cache, or the Fig. 6 cross-check fails.
+//! rerun misses the cache, a ranked sweep misses its gates, or the
+//! Fig. 6 cross-check fails.
 //!
 //! To reset the tuner (e.g. after changing the timing model — though a
 //! `TUNECACHE_VERSION` bump handles that automatically), delete the
@@ -16,9 +23,21 @@
 use gpu_sim::QueueMode;
 use milc_bench::{paper, Experiment};
 use milc_complex::DoubleComplex;
-use milc_dslash::tune::{LoadOutcome, Tuner};
+use milc_dslash::tune::{sweep_config, sweep_config_with_mode, LoadOutcome, SweepMode, Tuner};
 use milc_dslash::{DslashProblem, KernelConfig};
 use std::path::{Path, PathBuf};
+
+/// How many ranked candidates a pruned sweep times.
+const RANKED_TOP_K: usize = 3;
+
+/// Ranked and exhaustive winners must agree to this relative duration
+/// (the sweeps' flat middles are noise-tied; a genuinely worse
+/// candidate is tens of percent away).
+const RANKED_WINNER_TOL: f64 = 5e-3;
+
+/// The fraction of exhaustive sweep launches the ranked mode must
+/// avoid, aggregated over all twelve configurations.
+const RANKED_MIN_AVOIDED: f64 = 0.6;
 
 /// Best (minimum-duration) fig6.csv row of a series/order, if the file
 /// and such rows exist: `(local_size, duration_us)`.
@@ -190,7 +209,127 @@ fn main() {
         }
     ));
 
-    // -- Phase 3: cross-check the tuner against the Fig. 6 sweep data
+    // -- Phase 3: the statically ranked sweep mode must reproduce the
+    //    exhaustive sweep's selections (duration-equivalent winners)
+    //    while avoiding most of its launches.
+    md.push_str(&format!(
+        "\n## Ranked sweeps (static pruning, top-{RANKED_TOP_K} timed)\n\n\
+         | config | candidates | sweep launches full | sweep launches ranked \
+         | launches avoided | winner full | winner ranked | Δ duration | status |\n\
+         |---|---:|---:|---:|---:|---:|---:|---:|---|\n"
+    ));
+    eprintln!("phase 3 (ranked sweeps): exhaustive vs statically pruned ...");
+    let mut full_launches = 0u64;
+    let mut ranked_launches = 0u64;
+    let mut ranked_rows: Vec<(String, u32, f64)> = Vec::new();
+    for &cfg in &configs {
+        let full = match sweep_config(&mut problem, cfg, &exp.device, QueueMode::OutOfOrder) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("  {:16} exhaustive sweep FAILED: {e}", cfg.label());
+                md.push_str(&format!(
+                    "| {} | — | — | — | — | — | — | — | FAILED: {e} |\n",
+                    cfg.label()
+                ));
+                failed = true;
+                continue;
+            }
+        };
+        let ranked = match sweep_config_with_mode(
+            &mut problem,
+            cfg,
+            &exp.device,
+            QueueMode::OutOfOrder,
+            SweepMode::Ranked {
+                time_top_k: RANKED_TOP_K,
+            },
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("  {:16} ranked sweep FAILED: {e}", cfg.label());
+                md.push_str(&format!(
+                    "| {} | — | — | — | — | — | — | — | FAILED: {e} |\n",
+                    cfg.label()
+                ));
+                failed = true;
+                continue;
+            }
+        };
+        let avoided = 1.0 - ranked.sweep_launches as f64 / full.sweep_launches as f64;
+        let rel =
+            (ranked.winner.duration_us - full.winner.duration_us).abs() / full.winner.duration_us;
+        let ok = rel <= RANKED_WINNER_TOL;
+        failed |= !ok;
+        full_launches += full.sweep_launches;
+        ranked_launches += ranked.sweep_launches;
+        ranked_rows.push((
+            cfg.label(),
+            ranked.winner.local_size,
+            ranked.winner.duration_us,
+        ));
+        eprintln!(
+            "  {:16} launches {:3} -> {:2} ({:4.1}% avoided), winner {:4} vs {:4} \
+             (|Δ| = {:.4}%) -> {}",
+            cfg.label(),
+            full.sweep_launches,
+            ranked.sweep_launches,
+            avoided * 100.0,
+            full.winner.local_size,
+            ranked.winner.local_size,
+            rel * 100.0,
+            if ok { "ok" } else { "FAIL" }
+        );
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1}% | {} ({:.1} µs) | {} ({:.1} µs) | {:.4}% | {} |\n",
+            cfg.label(),
+            full.candidates.len(),
+            full.sweep_launches,
+            ranked.sweep_launches,
+            avoided * 100.0,
+            full.winner.local_size,
+            full.winner.duration_us,
+            ranked.winner.local_size,
+            ranked.winner.duration_us,
+            rel * 100.0,
+            if ok { "ok" } else { "FAIL: winner drifted" }
+        ));
+    }
+    let total_avoided = if full_launches > 0 {
+        1.0 - ranked_launches as f64 / full_launches as f64
+    } else {
+        0.0
+    };
+    let avoided_ok = total_avoided >= RANKED_MIN_AVOIDED;
+    failed |= !avoided_ok;
+    eprintln!(
+        "phase 3: {full_launches} exhaustive vs {ranked_launches} ranked sweep launches \
+         ({:.1}% avoided) -> {}",
+        total_avoided * 100.0,
+        if avoided_ok { "ok" } else { "FAIL" }
+    );
+    md.push_str(&format!(
+        "\nTotal: {full_launches} exhaustive vs {ranked_launches} ranked sweep launches — \
+         **{:.1}% avoided** (gate ≥ {:.0}%): **{}**.\n",
+        total_avoided * 100.0,
+        RANKED_MIN_AVOIDED * 100.0,
+        if avoided_ok { "ok" } else { "FAIL" }
+    ));
+    // The L = 16 run is the committed baseline for `perfdiff --ranked`.
+    if l == 16 && !ranked_rows.is_empty() {
+        let mut csv = milc_bench::provenance::header_comment(&exp.device);
+        csv.push_str("kernel,local_size,duration_us\n");
+        for (kernel, ls, us) in &ranked_rows {
+            csv.push_str(&format!("{kernel},{ls},{us:.3}\n"));
+        }
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/tune_ranked.csv", &csv).expect("write results/tune_ranked.csv");
+        eprintln!(
+            "phase 3: wrote results/tune_ranked.csv ({} rows)",
+            ranked_rows.len()
+        );
+    }
+
+    // -- Phase 4: cross-check the tuner against the Fig. 6 sweep data
     //    when it exists for this lattice size (fig6.csv is produced at
     //    L = 16).
     if l == 16 {

@@ -130,6 +130,53 @@ pub fn parse_scaling_baseline(csv: &str) -> Result<Vec<BaselineEntry>, String> {
     Ok(out)
 }
 
+/// One row of a committed `results/tune_ranked.csv`: the winner a
+/// ranked sweep (`SweepMode::Ranked`) selected for one Table I
+/// configuration, with its measured duration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankedBaselineRow {
+    /// Table I kernel label (`KernelConfig::label()`).
+    pub kernel: String,
+    /// The winning local size the ranked sweep timed.
+    pub local_size: u32,
+    /// Its measured duration, µs.
+    pub duration_us: f64,
+}
+
+/// Parse a committed `results/tune_ranked.csv` (provenance `#` comment
+/// lines, then header `kernel,local_size,duration_us`).
+pub fn parse_ranked_baseline(csv: &str) -> Result<Vec<RankedBaselineRow>, String> {
+    let mut lines = csv
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty tune_ranked csv")?;
+    if header != "kernel,local_size,duration_us" {
+        return Err(format!("tune_ranked csv has unexpected header {header:?}"));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 3 {
+            return Err(format!("tune_ranked csv row {}: want 3 columns", i + 2));
+        }
+        let local_size: u32 = f[1]
+            .parse()
+            .map_err(|_| format!("tune_ranked csv row {}: bad local size {:?}", i + 2, f[1]))?;
+        let duration_us: f64 = f[2]
+            .parse()
+            .map_err(|_| format!("tune_ranked csv row {}: bad duration {:?}", i + 2, f[2]))?;
+        out.push(RankedBaselineRow {
+            kernel: f[0].to_string(),
+            local_size,
+            duration_us,
+        });
+    }
+    if out.is_empty() {
+        return Err("tune_ranked csv has no data rows".to_string());
+    }
+    Ok(out)
+}
+
 /// One compared config.
 #[derive(Clone, Debug)]
 pub struct DiffRow {
@@ -324,6 +371,22 @@ mod tests {
         assert_eq!(base[0].config, "N=1 in-order");
         assert_eq!(base[1].config, "N=2 overlapped");
         assert!((base[1].duration_us - 1900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_the_committed_tune_ranked_format() {
+        let csv = "# command: cargo run -p milc-bench --release --bin tune\n\
+                   kernel,local_size,duration_us\n\
+                   3LP-1 k-major,96,875.123\n\
+                   4LP-2 i-major,192,1412.900\n";
+        let base = parse_ranked_baseline(csv).unwrap();
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].kernel, "3LP-1 k-major");
+        assert_eq!(base[0].local_size, 96);
+        assert!((base[1].duration_us - 1412.9).abs() < 1e-9);
+        assert!(parse_ranked_baseline("# only comments\n").is_err());
+        assert!(parse_ranked_baseline("kernel,local_size,duration_us\n").is_err());
+        assert!(parse_ranked_baseline("kernel,local_size,duration_us\n1LP,xyz,1.0\n").is_err());
     }
 
     #[test]

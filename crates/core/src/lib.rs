@@ -42,7 +42,7 @@ pub use operator::{recommended_config, SimulatedDslash};
 pub use problem::DslashProblem;
 pub use runner::{
     run_config, run_config_sanitized, run_config_timed, run_config_tuned, run_config_warm,
-    run_config_warm_tuned, RunOutcome, TimedRuns,
+    run_config_warm_on_state, run_config_warm_tuned, RunOutcome, TimedRuns,
 };
 pub use shard::{
     modelled_trace, run_sharded, run_sharded_with, tune_rank_local_sizes, HaloFault, Partition,
@@ -52,7 +52,9 @@ pub use solver::{
     solve, solve_tuned, solve_with, CgSolution, DeviceNormalOperator, NormalOp, NormalOperator,
     TunedCgSolution,
 };
-pub use staticcheck::{run_config_staticcheck, staticcheck_kernel};
+pub use staticcheck::{
+    occupancy_report, rank_candidates, run_config_staticcheck, staticcheck_kernel, RankedCandidate,
+};
 pub use strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
 pub use tune::{TuneCache, TuneDecision, TuneEntry, TuneError, TuneKey, Tuner};
 pub use validate::{compare_to_reference, MaxError};

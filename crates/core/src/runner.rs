@@ -139,20 +139,42 @@ pub fn run_config_warm<C: ComplexField>(
     device: &DeviceSpec,
     queue_mode: QueueMode,
 ) -> Result<RunOutcome, SimError> {
+    let mut state = DeviceState::new(device);
+    run_config_warm_on_state(
+        problem, cfg, local_size, device, queue_mode, &mut state, true,
+    )
+}
+
+/// Like [`run_config_warm`] but on a caller-owned device state, with
+/// the warmup launch optional.  Back-to-back candidate timing — the way
+/// a live tuner actually runs a sweep — passes the same state for every
+/// candidate and warms only once: each timed launch of the same problem
+/// leaves the caches warm for the next, so later candidates skip their
+/// warmup launch entirely ([`crate::tune::SweepMode::Ranked`] counts
+/// those as avoided sweep launches).
+#[allow(clippy::too_many_arguments)]
+pub fn run_config_warm_on_state<C: ComplexField>(
+    problem: &mut DslashProblem<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+    queue_mode: QueueMode,
+    state: &mut DeviceState,
+    warmup: bool,
+) -> Result<RunOutcome, SimError> {
     check_local_size(problem, cfg, local_size, device)?;
     problem.zero_output();
     let range = problem.launch_range(cfg, local_size);
     let kernel = problem.make_kernel(cfg, range.num_groups());
 
     let label = cfg.label();
-    let mut state = DeviceState::new(device);
     let launcher = Launcher::new(device);
     // Warmup launch: executes fully (results overwritten below), fills
     // the caches, is not timed.
-    {
+    if warmup {
         let warmup_span = obs::span_on(&label, "warmup");
         let warmup_report =
-            launcher.launch_with_state(kernel.as_ref(), range, problem.memory(), &mut state)?;
+            launcher.launch_with_state(kernel.as_ref(), range, problem.memory(), state)?;
         obs::record_launch(&warmup_span, &label, &warmup_report, device, 0.0);
     }
 
@@ -160,7 +182,7 @@ pub fn run_config_warm<C: ComplexField>(
     let span = obs::span_on(&label, "launch");
     let mut queue = Queue::new(Launcher::new(device), queue_mode);
     let (report, overhead) = {
-        let sub = queue.submit_with_state(kernel.as_ref(), range, problem.memory(), &mut state)?;
+        let sub = queue.submit_with_state(kernel.as_ref(), range, problem.memory(), state)?;
         (sub.report.clone(), sub.overhead_us)
     };
     obs::record_launch(&span, &label, &report, device, overhead);

@@ -10,8 +10,10 @@
 use crate::obs;
 use crate::problem::DslashProblem;
 use crate::strategy::KernelConfig;
+use gpu_sim::occupancy::occupancy;
 use gpu_sim::{
-    DeviceMemory, DeviceSpec, Kernel, NdRange, SimError, StaticCheckConfig, StaticReport,
+    estimate_launch, rank_estimates, CostEstimate, DeviceMemory, DeviceSpec, Kernel, NdRange,
+    Occupancy, SimError, StaticCheckConfig, StaticReport, TimingModel,
 };
 use milc_complex::ComplexField;
 
@@ -72,6 +74,106 @@ pub fn run_config_staticcheck<C: ComplexField>(
     ))
 }
 
+/// The static occupancy picture of one `(config, local size)`: the
+/// limiter/waves/achieved analysis the cost model feeds on, computed
+/// from [`gpu_sim::KernelResources`] alone — no probing, no launch.
+pub fn occupancy_report<C: ComplexField>(
+    problem: &DslashProblem<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+) -> Result<Occupancy, SimError> {
+    if !cfg.local_size_legal(local_size, problem.lattice().half_volume() as u64) {
+        return Err(SimError::InvalidLocalSize {
+            local: local_size,
+            max: device.max_group_size,
+        });
+    }
+    let range = problem.launch_range(cfg, local_size);
+    let kernel = problem.make_kernel(cfg, range.num_groups());
+    occupancy(
+        device,
+        local_size,
+        &kernel.resources(local_size),
+        range.num_groups(),
+    )
+}
+
+/// One candidate local size in a static ranking.
+#[derive(Clone, Debug)]
+pub struct RankedCandidate {
+    /// The candidate local size.
+    pub local_size: u32,
+    /// Its cost estimate, or the reason none exists.  Candidates
+    /// without an estimate cannot be ranked — a ranked sweep must time
+    /// them rather than prune them.
+    pub estimate: Result<CostEstimate, String>,
+}
+
+/// Statically rank every legal local size of a configuration by
+/// predicted duration (ascending; ties toward the smaller local size).
+/// Estimable candidates come first in rank order; inestimable ones
+/// follow in local-size order with their reasons.  Traced as a
+/// `staticrank` span on the config's track.
+///
+/// The launch traffic is estimated **once per configuration**, at the
+/// largest legal local size (fewest groups, so the probe set covers
+/// the largest fraction of the launch), and every candidate is derived
+/// from that shared base via [`CostEstimate::with_occupancy`]: within
+/// one configuration the traffic is grouping-invariant, so candidates
+/// differ only by occupancy/waves/tail, and probe sampling error —
+/// which *does* vary with the partitioning — cancels exactly instead
+/// of scrambling near-tied candidates.
+pub fn rank_candidates<C: ComplexField>(
+    problem: &DslashProblem<C>,
+    cfg: KernelConfig,
+    device: &DeviceSpec,
+) -> Vec<RankedCandidate> {
+    let span = obs::span_on(&cfg.label(), "staticrank");
+    let timing = TimingModel::calibrated();
+    let sizes = cfg.legal_local_sizes(problem.lattice().half_volume() as u64);
+    span.attr("candidates", sizes.len() as u64);
+
+    // Shared traffic base from the canonical (largest legal) size.
+    let base: Result<CostEstimate, String> = match sizes.last() {
+        Some(&ls) => {
+            let range = problem.launch_range(cfg, ls);
+            let kernel = problem.make_kernel(cfg, range.num_groups());
+            estimate_launch(kernel.as_ref(), &range, device, problem.memory(), &timing)
+        }
+        None => Err("no legal local size".to_string()),
+    };
+
+    let mut estimates = Vec::new();
+    let mut failures = Vec::new();
+    for ls in sizes {
+        let est = base.as_ref().map_err(String::clone).and_then(|b| {
+            let range = problem.launch_range(cfg, ls);
+            let kernel = problem.make_kernel(cfg, range.num_groups());
+            occupancy(device, ls, &kernel.resources(ls), range.num_groups())
+                .map_err(|e| format!("occupancy infeasible: {e}"))
+                .map(|occ| b.with_occupancy(ls, range.num_groups(), occ, &timing, device))
+        });
+        match est {
+            Ok(e) => estimates.push(e),
+            Err(why) => failures.push(RankedCandidate {
+                local_size: ls,
+                estimate: Err(why),
+            }),
+        }
+    }
+    span.attr("inestimable", failures.len() as u64);
+    let mut out: Vec<RankedCandidate> = rank_estimates(estimates)
+        .into_iter()
+        .map(|e| RankedCandidate {
+            local_size: e.local_size,
+            estimate: Ok(e),
+        })
+        .collect();
+    out.extend(failures);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +210,37 @@ mod tests {
         assert!(
             run_config_staticcheck(&p, cfg, 1000, &device, &StaticCheckConfig::default()).is_err()
         );
+    }
+
+    #[test]
+    fn occupancy_report_matches_launch_occupancy() {
+        let mut p = DslashProblem::<Z>::random(4, 44);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let occ = occupancy_report(&p, cfg, 96, &device).unwrap();
+        let run = crate::runner::run_config(&mut p, cfg, 96, &device, gpu_sim::QueueMode::InOrder)
+            .unwrap();
+        assert_eq!(occ, run.report.occupancy);
+        assert!(occupancy_report(&p, cfg, 1000, &device).is_err());
+    }
+
+    #[test]
+    fn rank_candidates_covers_every_legal_size_in_duration_order() {
+        let p = DslashProblem::<Z>::random(4, 45);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let ranked = rank_candidates(&p, cfg, &device);
+        let mut sizes: Vec<u32> = ranked.iter().map(|r| r.local_size).collect();
+        sizes.sort_unstable();
+        assert_eq!(
+            sizes,
+            cfg.legal_local_sizes(p.lattice().half_volume() as u64)
+        );
+        let durations: Vec<f64> = ranked
+            .iter()
+            .filter_map(|r| r.estimate.as_ref().ok().map(|e| e.duration_us))
+            .collect();
+        assert!(!durations.is_empty(), "paper config must be estimable");
+        assert!(durations.windows(2).all(|w| w[0] <= w[1]));
     }
 }

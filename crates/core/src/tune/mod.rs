@@ -30,8 +30,8 @@ pub mod sweep;
 
 pub use cache::{device_spec_hash, LoadOutcome, TuneCache, TuneEntry, TuneKey, TUNECACHE_VERSION};
 pub use sweep::{
-    candidate_local_sizes, sweep_config, CandidateOutcome, CandidatePoint, Reject, SweepError,
-    SweepOutcome,
+    candidate_local_sizes, sweep_config, sweep_config_with_mode, CandidateOutcome, CandidatePoint,
+    Reject, SweepError, SweepMode, SweepOutcome,
 };
 
 use crate::problem::DslashProblem;
@@ -176,14 +176,30 @@ impl Tuner {
     }
 
     /// Tune one configuration: return the cached winner if the key
-    /// hits, otherwise sweep all candidates, record the winner, and
-    /// return it.  On a hit no launch is performed at all.
+    /// hits, otherwise sweep all candidates exhaustively, record the
+    /// winner, and return it.  On a hit no launch is performed at all.
     pub fn tune<C: ComplexField>(
         &mut self,
         problem: &mut DslashProblem<C>,
         cfg: KernelConfig,
         device: &DeviceSpec,
         queue_mode: QueueMode,
+    ) -> Result<TuneDecision, TuneError> {
+        self.tune_with_mode(problem, cfg, device, queue_mode, SweepMode::Exhaustive)
+    }
+
+    /// [`tune`](Self::tune) with an explicit [`SweepMode`]: a ranked
+    /// sweep statically prunes to the top-K predicted candidates before
+    /// timing anything.  Cache semantics are identical — the mode only
+    /// governs how a cache *miss* spends launches, and the cache key
+    /// does not include it (a ranked winner is a winner).
+    pub fn tune_with_mode<C: ComplexField>(
+        &mut self,
+        problem: &mut DslashProblem<C>,
+        cfg: KernelConfig,
+        device: &DeviceSpec,
+        queue_mode: QueueMode,
+        mode: SweepMode,
     ) -> Result<TuneDecision, TuneError> {
         let key = Self::key_for(problem, cfg, device);
         if let Some(entry) = self.cache.lookup(&key) {
@@ -197,7 +213,7 @@ impl Tuner {
         }
         self.misses += 1;
         crate::obs::metric_inc("tune_cache_misses_total", &[("config", &cfg.label())], 1);
-        let sweep = sweep_config(problem, cfg, device, queue_mode)?;
+        let sweep = sweep_config_with_mode(problem, cfg, device, queue_mode, mode)?;
         let entry = TuneEntry {
             key,
             local_size: sweep.winner.local_size,

@@ -31,11 +31,13 @@
 //! conservative (every value the source table holds), so gather
 //! out-of-bounds findings always carry a concretely-resolved witness.
 
+pub mod costmodel;
 pub mod footprint;
 pub mod probe;
 pub mod proofs;
 pub mod traffic;
 
+pub use costmodel::{estimate_launch, rank_estimates, spearman, CostEstimate};
 pub use footprint::{AddrForm, LaunchModel, MemSlot, PhaseModel, ResidueShape, SlotKind};
 pub use traffic::{PhaseRep, TrafficPrediction};
 

@@ -174,6 +174,14 @@ struct Replayer {
 
 impl Replayer {
     fn new(device: &DeviceSpec) -> Self {
+        Self::with_capacities(
+            device,
+            16 * device.line_bytes as u64,
+            64 * device.line_bytes as u64,
+        )
+    }
+
+    fn with_capacities(device: &DeviceSpec, l1_bytes: u64, l2_bytes: u64) -> Self {
         let cache = |capacity| {
             Cache::new(CacheConfig {
                 capacity,
@@ -183,8 +191,8 @@ impl Replayer {
             })
         };
         Self {
-            l1: cache(16 * device.line_bytes as u64),
-            l2: cache(64 * device.line_bytes as u64),
+            l1: cache(l1_bytes),
+            l2: cache(l2_bytes),
             counters: Counters::default(),
             line_bytes: device.line_bytes,
             sector_bytes: device.sector_bytes,
@@ -208,6 +216,51 @@ impl Replayer {
         )
         .map_err(|e| format!("predicted streams fell out of lockstep: {e}"))
     }
+}
+
+/// Replay every phase of one `(group, block)` against oversized *cold*
+/// caches and return the full counter block.  With caches large enough
+/// that nothing evicts, `l1_sector_misses` is exactly the block's
+/// unique global sector count (compulsory misses), and
+/// `l2_sector_requests - l1_sector_misses` is the sector traffic of the
+/// block's atomics (which bypass L1) — both pure functions of the
+/// address vectors, which is what the cost model needs.  `Err` when any
+/// phase is irregular, warp-misaligned or has an unresolvable slot.
+pub(crate) fn block_counters(
+    model: &LaunchModel,
+    mem: &DeviceMemory,
+    device: &DeviceSpec,
+    group: u64,
+    block: u64,
+) -> Result<Counters, String> {
+    let warp = device.warp_size;
+    if warp == 0 || !model.q_len.is_multiple_of(warp) {
+        return Err(format!(
+            "residue period {} is not warp-aligned",
+            model.q_len
+        ));
+    }
+    // A residue block is at most `max_group_size` lanes touching a few
+    // KB each: 8 MB per level never evicts for any shipped kernel.
+    const NO_EVICT_BYTES: u64 = 8 << 20;
+    let mut r = Replayer::with_capacities(device, NO_EVICT_BYTES, NO_EVICT_BYTES);
+    for (p, pm) in model.phases.iter().enumerate() {
+        let shapes = match pm {
+            PhaseModel::Uniform(s) => s,
+            PhaseModel::Irregular(why) => {
+                return Err(format!("phase {p} has no uniform model: {why}"))
+            }
+        };
+        for wb in 0..model.q_len / warp {
+            let mut streams = Vec::with_capacity(warp as usize);
+            for i in 0..warp {
+                let lid = block as u32 * model.q_len + wb * warp + i;
+                streams.push(lane_stream(model, mem, shapes, group, lid, (group, block))?);
+            }
+            r.replay(&streams)?;
+        }
+    }
+    Ok(r.counters)
 }
 
 /// Rebuild one lane's stream, substituting the representative probed

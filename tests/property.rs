@@ -627,6 +627,160 @@ fn static_and_dynamic_race_verdicts_agree() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Cost-model invariants: the occupancy calculator must be monotone in
+// kernel resources, the static ranking must be a stable total order
+// (even with duplicate candidates), and top-K pruning must never drop
+// the predicted-best candidate — for arbitrary resources and durations.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Occupancy is anti-monotone in resource appetite: asking for more
+    /// registers or more shared memory never *raises* residency or
+    /// theoretical occupancy, and achieved never exceeds theoretical.
+    #[test]
+    fn occupancy_is_monotone_in_resources(
+        ls_warps in 1u32..=32,
+        regs in 16u32..=128,
+        lmem in 0u32..64 * 1024,
+        extra_regs in 0u32..=64,
+        extra_lmem in 0u32..32 * 1024,
+        groups in 1u64..10_000,
+    ) {
+        use gpu_sim::occupancy::occupancy;
+        use gpu_sim::KernelResources;
+
+        let dev = DeviceSpec::a100();
+        let ls = ls_warps * dev.warp_size;
+        let lean = KernelResources {
+            registers_per_item: regs,
+            local_mem_bytes_per_group: lmem,
+        };
+        let hungry = KernelResources {
+            registers_per_item: regs + extra_regs,
+            local_mem_bytes_per_group: lmem + extra_lmem,
+        };
+        let a = occupancy(&dev, ls, &lean, groups);
+        let b = occupancy(&dev, ls, &hungry, groups);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(b.groups_per_sm <= a.groups_per_sm);
+                prop_assert!(b.warps_per_sm <= a.warps_per_sm);
+                prop_assert!(b.theoretical <= a.theoretical + 1e-12);
+                prop_assert!(b.waves >= a.waves - 1e-12);
+                for o in [a, b] {
+                    prop_assert!(o.theoretical > 0.0 && o.theoretical <= 1.0);
+                    prop_assert!(o.achieved <= o.theoretical + 1e-12);
+                    prop_assert!(o.waves > 0.0);
+                }
+            }
+            // If the lean kernel already exhausts an SM resource, the
+            // hungrier one must too — infeasibility is monotone.
+            (Err(_), b) => prop_assert!(b.is_err(), "hungrier kernel became feasible"),
+            (Ok(_), Err(_)) => {}
+        }
+    }
+}
+
+/// Build a synthetic estimate whose only distinguishing features are a
+/// local size and a predicted duration — exactly what the ranking keys
+/// on.
+fn synthetic_estimate(local_size: u32, duration_us: f64) -> gpu_sim::CostEstimate {
+    use gpu_sim::occupancy::occupancy;
+    use gpu_sim::{CostEstimate, Counters, KernelResources};
+    let dev = DeviceSpec::a100();
+    let occ = occupancy(
+        &dev,
+        64,
+        &KernelResources {
+            registers_per_item: 32,
+            local_mem_bytes_per_group: 0,
+        },
+        64,
+    )
+    .unwrap();
+    CostEstimate {
+        local_size,
+        num_groups: 64,
+        occupancy: occ,
+        counters: Counters::default(),
+        footprint_bytes: 0,
+        duration_us,
+        notes: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `rank_estimates` is a stable total order: sorted by duration with
+    /// ties broken toward the smaller local size, invariant under input
+    /// permutation, and idempotent — duplicate candidates (same size,
+    /// same duration) land adjacent instead of scrambling the order.
+    #[test]
+    fn ranking_is_a_stable_total_order_under_duplicates(
+        base in collection::vec((32u32..=1024, 1.0f64..1e4), 1..12),
+        dup_idx in 0usize..12,
+    ) {
+        use gpu_sim::rank_estimates;
+
+        let mut cands = base.clone();
+        // Inject an exact duplicate of one candidate.
+        cands.push(base[dup_idx % base.len()]);
+        let ests = cands.iter().map(|&(ls, us)| synthetic_estimate(ls, us));
+        let ranked = rank_estimates(ests.collect());
+        prop_assert_eq!(ranked.len(), cands.len());
+        for w in ranked.windows(2) {
+            prop_assert!(
+                w[0].duration_us < w[1].duration_us
+                    || (w[0].duration_us == w[1].duration_us
+                        && w[0].local_size <= w[1].local_size),
+                "not a total order: ({}, {}) before ({}, {})",
+                w[0].local_size, w[0].duration_us, w[1].local_size, w[1].duration_us
+            );
+        }
+        // Permutation invariance (reversed input, same output keys).
+        let rev = rank_estimates(
+            cands.iter().rev().map(|&(ls, us)| synthetic_estimate(ls, us)).collect(),
+        );
+        let keys = |v: &[gpu_sim::CostEstimate]| -> Vec<(u32, f64)> {
+            v.iter().map(|e| (e.local_size, e.duration_us)).collect()
+        };
+        prop_assert_eq!(keys(&ranked), keys(&rev));
+        // Idempotence.
+        prop_assert_eq!(keys(&rank_estimates(ranked.clone())), keys(&ranked));
+    }
+
+    /// Top-K pruning is sound by construction: for any candidate set and
+    /// any K ≥ 1, the timed head of the ranking contains the
+    /// predicted-best candidate (minimum duration, smallest local size
+    /// on ties) — pruning only ever drops the predicted tail.
+    #[test]
+    fn top_k_pruning_never_drops_the_predicted_best(
+        cands in collection::vec((32u32..=1024, 1.0f64..1e4), 1..16),
+        k in 1usize..16,
+    ) {
+        use gpu_sim::rank_estimates;
+
+        let ranked = rank_estimates(
+            cands.iter().map(|&(ls, us)| synthetic_estimate(ls, us)).collect(),
+        );
+        let best_us = cands.iter().map(|&(_, us)| us).fold(f64::INFINITY, f64::min);
+        let best_ls = cands
+            .iter()
+            .filter(|&&(_, us)| us == best_us)
+            .map(|&(ls, _)| ls)
+            .min()
+            .unwrap();
+        let timed = &ranked[..k.min(ranked.len())];
+        prop_assert!(
+            timed.iter().any(|e| e.local_size == best_ls && e.duration_us == best_us),
+            "top-{k} dropped the predicted best ({best_ls} @ {best_us})"
+        );
+    }
+}
+
 /// The whole-launch traffic prediction is not a model of the dynamic
 /// replay — it *is* the dynamic replay, reached without executing the
 /// kernel: all predicted counters must equal the executed launch's
