@@ -46,14 +46,20 @@ test -s "$SCALING_SMOKE_DIR/scaling.csv" || { echo "scaling did not write the cs
 test -s "$SCALING_SMOKE_DIR/scaling.trace.json" || { echo "scaling did not write the trace"; exit 1; }
 rm -rf "$SCALING_SMOKE_DIR"
 
-echo "== perfdiff (perf-regression gate, threshold +10%; gates ranked-sweep winners; selftest proves the FAIL path) =="
-cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --ranked --selftest
+echo "== profile (perf-explainability: roofline table, cost-model drift, critical-path/overlap study) =="
+cargo run --offline --release -p milc-bench --bin profile -- 16
+test -s results/profile.md || { echo "profile did not write the report"; exit 1; }
+test -s results/roofline.csv || { echo "profile did not write the roofline csv"; exit 1; }
+
+echo "== perfdiff (perf-regression gate, threshold +10%; gates ranked-sweep winners and cost-model drift; selftest proves both FAIL paths) =="
+cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --ranked --profile --selftest
 
 echo "== collecting artifacts =="
 ARTIFACTS_DIR="${ARTIFACTS_DIR:-target/ci-artifacts}"
 mkdir -p "$ARTIFACTS_DIR"
 cp results/*.trace.json results/metrics.txt results/staticcheck.md \
-  results/tune.md results/tune_ranked.csv "$ARTIFACTS_DIR"/
+  results/tune.md results/tune_ranked.csv results/profile.md results/roofline.csv \
+  "$ARTIFACTS_DIR"/
 echo "artifacts in $ARTIFACTS_DIR: $(ls "$ARTIFACTS_DIR" | tr '\n' ' ')"
 
 echo "== CI OK =="

@@ -19,9 +19,15 @@
 //!   `results/tune_ranked.csv` (the winners the statically pruned
 //!   sweep mode selected; each is re-measured warm at its recorded
 //!   local size);
+//! - `--profile` additionally gates prediction drift: every Table I
+//!   launch is compared against its static [`CostEstimate`] along the
+//!   duration and traffic paths, and any path outside its tolerance
+//!   fails the run;
 //! - `--selftest` then re-diffs with fresh durations inflated 1.2x and
-//!   verifies the gate trips — proof the FAIL path works, without a
-//!   second simulation;
+//!   verifies the gate trips — and, with `--profile`, re-checks drift
+//!   with measured durations inflated 2x and verifies the drift gate
+//!   trips too — proof the FAIL paths work, without a second
+//!   simulation;
 //! - `PERFDIFF_INFLATE=<factor>` multiplies fresh durations before the
 //!   main comparison (for demonstrating a seeded slowdown end to end).
 
@@ -35,7 +41,10 @@ use milc_bench::{
     strong_scaling, table1_outcomes, Experiment,
 };
 use milc_complex::{Cplx, DoubleComplex};
-use milc_dslash::{run_config_warm, DslashProblem, IndexOrder, KernelConfig, Strategy, TuneCache};
+use milc_dslash::obs::prof::{DriftReport, DriftRow};
+use milc_dslash::{
+    estimate_config, run_config_warm, DslashProblem, IndexOrder, KernelConfig, Strategy, TuneCache,
+};
 use std::path::Path;
 
 fn main() {
@@ -43,6 +52,7 @@ fn main() {
     let mut with_fig6 = false;
     let mut with_scaling = false;
     let mut with_ranked = false;
+    let mut with_profile = false;
     let mut selftest = false;
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -51,6 +61,7 @@ fn main() {
             "--fig6" => with_fig6 = true,
             "--scaling" => with_scaling = true,
             "--ranked" => with_ranked = true,
+            "--profile" => with_profile = true,
             "--selftest" => selftest = true,
             "--baseline" => {
                 baseline_path = Some(args.next().expect("--baseline needs a path"));
@@ -87,13 +98,44 @@ fn main() {
     eprintln!("packing problem ...");
     let mut problem = DslashProblem::<DoubleComplex>::random(l, exp.seed);
     eprintln!("re-simulating 12 Table I configurations ...");
-    let mut fresh: Vec<BaselineEntry> = table1_outcomes(&exp, &mut problem)
-        .into_iter()
+    let outcomes = table1_outcomes(&exp, &mut problem);
+    let mut fresh: Vec<BaselineEntry> = outcomes
+        .iter()
         .map(|(config, out)| BaselineEntry {
-            config,
+            config: config.clone(),
             duration_us: out.report.duration_us * inflate,
         })
         .collect();
+
+    // Drift gate: the same measured launches against the static cost
+    // model, along the duration and replay-exact traffic paths.  The
+    // estimates are kept so the selftest can rebuild the rows with
+    // inflated measurements.
+    let mut drift = DriftReport::default();
+    let mut estimates = Vec::new();
+    if with_profile {
+        eprintln!("comparing against the static cost model ...");
+        for ((label, out), col) in outcomes.iter().zip(paper::TABLE1.iter()) {
+            let cfg = KernelConfig::new(col.strategy, col.order);
+            let ls = paper::table1_local_size(col.strategy);
+            let est = estimate_config(&problem, cfg, ls, &exp.device)
+                .unwrap_or_else(|e| panic!("{label}: no static estimate: {e}"));
+            drift.rows.push(DriftRow::from_parts(
+                label,
+                ls,
+                out.report.duration_us * inflate,
+                &out.report.counters,
+                &est,
+            ));
+            estimates.push(est);
+        }
+        if let Some((row, p)) = drift.worst() {
+            eprintln!(
+                "drift: worst path {} {} at {:+.3}% (tolerance ±{:.0}%)",
+                row.kernel, p.path, p.drift_pct, p.tolerance_pct
+            );
+        }
+    }
 
     if with_fig6 {
         let fig6_path = "results/fig6.csv";
@@ -192,10 +234,49 @@ fn main() {
             tripped.rows.iter().filter(|r| r.regressed).count(),
             tripped.rows.len()
         );
+        if with_profile {
+            // A doubled duration sits far outside the ±25% duration
+            // tolerance (measured/predicted holds a ±10% band around 1
+            // after scale correction), so the drift gate must trip.
+            let mut slowed_drift = DriftReport::default();
+            for ((label, out), est) in outcomes.iter().zip(estimates.iter()) {
+                slowed_drift.rows.push(DriftRow::from_parts(
+                    label,
+                    est.local_size,
+                    out.report.duration_us * inflate * 2.0,
+                    &out.report.counters,
+                    est,
+                ));
+            }
+            assert!(
+                slowed_drift.failed(),
+                "selftest: a 2x duration inflation must trip the drift gate"
+            );
+            let broken = slowed_drift
+                .rows
+                .iter()
+                .filter(|r| !r.within_tolerance())
+                .count();
+            println!(
+                "selftest: 2x duration inflation breaks drift on {}/{} configs — drift gate verified",
+                broken,
+                slowed_drift.rows.len()
+            );
+        }
     }
 
+    let drift_failed = drift.failed();
+    if drift_failed {
+        let (row, p) = drift.worst().expect("non-empty");
+        eprintln!(
+            "perfdiff: FAIL — cost-model drift: {} {} at {:+.2}% (tolerance ±{:.0}%)",
+            row.kernel, p.path, p.drift_pct, p.tolerance_pct
+        );
+    }
     if report.regressed() {
         eprintln!("perfdiff: FAIL — modelled-time regression beyond threshold");
+    }
+    if report.regressed() || drift_failed {
         std::process::exit(1);
     }
     eprintln!("perfdiff: PASS");

@@ -5,7 +5,10 @@
 //! behind the interior kernel, boundary kernel after both) — with
 //! per-rank local sizes from the persistent tune cache.  The overlapped
 //! schedule must win at every N > 1; `--check` turns that into a hard
-//! exit code.
+//! exit code and additionally proves every launch the study performed —
+//! each rank's full/interior/boundary kernel at its tuned local size —
+//! clean under the static analyzer (races, bounds, lint), so the
+//! scaling study gates its own launches the way the Table I runs do.
 //!
 //! Usage: `cargo run -p milc-bench --bin scaling --release -- \
 //!   [L] [--out PATH] [--trace PATH] [--cache PATH] [--check]`
@@ -16,12 +19,29 @@
 //! with separate comm / compute tracks per rank so the overlap is
 //! visible as concurrent spans.
 
+use gpu_sim::StaticCheckConfig;
 use milc_bench::{provenance, scaling_rows_to_csv, strong_scaling, Experiment, ScalingRow};
-use milc_dslash::shard::{modelled_trace, ShardMode};
+use milc_complex::DoubleComplex;
+use milc_dslash::shard::{modelled_trace, Phase, ShardMode, ShardedProblem};
+use milc_dslash::staticcheck::staticcheck_kernel;
 use milc_dslash::{obs, IndexOrder, KernelConfig, Strategy, TuneCache};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Largest legal local size for `n` targets not above the requested
+/// one — the same fit the shard runner applies before launching.
+fn fit_local_size(cfg: KernelConfig, requested: u32, n: u64) -> u32 {
+    if cfg.local_size_legal(requested, n) {
+        return requested;
+    }
+    cfg.legal_local_sizes(n)
+        .into_iter()
+        .filter(|&ls| ls <= requested)
+        .max()
+        .unwrap_or_else(|| cfg.strategy.local_size_multiple(cfg.order))
+}
 
 fn write_creating_dir(path: &Path, text: &str) {
     if let Some(dir) = path.parent() {
@@ -166,6 +186,63 @@ fn main() {
                 ok = false;
             }
         }
+        // Static gate: every kernel the study launched — each rank's
+        // full (in-order) or interior/boundary (overlapped) phase at
+        // its tuned local size — must be provably clean.  Identical
+        // (ranks, rank, phase, local size) launches across modes are
+        // analyzed once.
+        eprintln!("staticcheck: proving the study's own launches ...");
+        let mut problems: BTreeMap<usize, ShardedProblem<DoubleComplex>> = BTreeMap::new();
+        let mut seen: BTreeSet<(usize, usize, &'static str, u32)> = BTreeSet::new();
+        let mut analyzed = 0usize;
+        for p in &points {
+            let sharded = problems
+                .entry(p.row.ranks)
+                .or_insert_with(|| ShardedProblem::random(l, exp.seed, p.row.ranks));
+            let phases: &[Phase] = match p.outcome.mode {
+                ShardMode::InOrder => &[Phase::Full],
+                ShardMode::Overlapped => &[Phase::Interior, Phase::Boundary],
+            };
+            for r in 0..sharded.num_ranks() {
+                let rank = sharded.rank(r);
+                let requested = p.outcome.per_rank[r].local_size;
+                for &phase in phases {
+                    let n = rank.phase_targets(phase);
+                    if n == 0 {
+                        continue;
+                    }
+                    let ls = fit_local_size(cfg, requested, n);
+                    let phase_name = match phase {
+                        Phase::Full => "full",
+                        Phase::Interior => "interior",
+                        Phase::Boundary => "boundary",
+                    };
+                    if !seen.insert((p.row.ranks, r, phase_name, ls)) {
+                        continue;
+                    }
+                    let range = rank.launch_range(cfg, phase, ls);
+                    let kernel = rank
+                        .make_kernel(cfg, phase, range.num_groups())
+                        .expect("non-empty phase has a kernel");
+                    let label = format!("N={} rank{r} {phase_name} @ {ls}", p.row.ranks);
+                    let report = staticcheck_kernel(
+                        kernel.as_ref(),
+                        &range,
+                        &exp.device,
+                        rank.memory(),
+                        &StaticCheckConfig::tuner(),
+                        &label,
+                    );
+                    analyzed += 1;
+                    if !report.is_clean() {
+                        eprintln!("staticcheck: {label} FAIL\n{}", report.render_text());
+                        ok = false;
+                    }
+                }
+            }
+        }
+        eprintln!("staticcheck: {analyzed} launches proved clean");
+
         if !ok {
             std::process::exit(1);
         }

@@ -37,6 +37,7 @@ pub mod validate;
 
 pub use flops::theoretical_flops;
 pub use kernels::defects::{BrokenBarrierThreeLp1, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead};
+pub use obs::prof::{Bottleneck, CriticalPath, DriftReport, DriftRow, RooflineRow};
 pub use obs::{Metrics, Trace, Tracer};
 pub use operator::{recommended_config, SimulatedDslash};
 pub use problem::DslashProblem;
@@ -53,7 +54,8 @@ pub use solver::{
     TunedCgSolution,
 };
 pub use staticcheck::{
-    occupancy_report, rank_candidates, run_config_staticcheck, staticcheck_kernel, RankedCandidate,
+    estimate_config, occupancy_report, rank_candidates, run_config_staticcheck, staticcheck_kernel,
+    RankedCandidate,
 };
 pub use strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
 pub use tune::{TuneCache, TuneDecision, TuneEntry, TuneError, TuneKey, Tuner};

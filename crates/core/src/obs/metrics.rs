@@ -30,19 +30,23 @@ impl Series {
     fn new(name: &str, labels: &[(&str, &str)]) -> Self {
         let mut labels: Vec<(String, String)> = labels
             .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .map(|(k, v)| (sanitize_name(k, false), v.to_string()))
             .collect();
         labels.sort();
         Self {
-            name: name.to_string(),
+            name: sanitize_name(name, true),
             labels,
         }
     }
 
-    /// `name{k="v",...}` with Prometheus label-value escaping.
+    /// `name{k="v",...}` with Prometheus label-value escaping.  A pair
+    /// in `extra` replaces any recorded label of the same name — the
+    /// histogram renderer owns `le`, a user label must not corrupt the
+    /// bucket rows.
     fn render(&self, extra: Option<(&str, &str)>) -> String {
         let mut pairs: Vec<(String, String)> = self.labels.clone();
         if let Some((k, v)) = extra {
+            pairs.retain(|(name, _)| name != k);
             pairs.push((k.to_string(), v.to_string()));
             pairs.sort();
         }
@@ -61,6 +65,29 @@ fn escape_label_value(v: &str) -> String {
     v.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Force a metric or label name into the exposition-format charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`; colons are reserved for metric names).
+/// Offending characters become `_`, a leading digit gets a `_` prefix,
+/// and an empty name renders as a lone `_` — the series survives with
+/// a scrapable name instead of corrupting the whole snapshot.
+fn sanitize_name(name: &str, allow_colon: bool) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic()
+            || c == '_'
+            || (allow_colon && c == ':')
+            || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok || c.is_ascii_digit() { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
 }
 
 #[derive(Clone, Debug, Default)]
@@ -280,7 +307,58 @@ mod tests {
     fn label_values_are_escaped() {
         let m = Metrics::new();
         m.inc("x_total", &[("k", "a\"b\\c")], 1);
+        m.inc("y_total", &[("k", "line1\nline2")], 1);
         let text = m.render_prometheus();
         assert!(text.contains("x_total{k=\"a\\\"b\\\\c\"} 1"));
+        assert!(text.contains("y_total{k=\"line1\\nline2\"} 1"));
+        assert!(!text.contains("line1\nline2"), "raw newline leaked");
+    }
+
+    #[test]
+    fn names_are_sanitized_into_the_exposition_charset() {
+        let m = Metrics::new();
+        m.inc("drift %", &[("bad key", "kept as-is")], 1);
+        m.inc("7start_total", &[], 1);
+        m.inc("", &[], 1);
+        let text = m.render_prometheus();
+        assert!(text.contains("drift__{bad_key=\"kept as-is\"} 1"), "{text}");
+        assert!(text.contains("_7start_total 1"), "{text}");
+        assert!(text.contains("\n_ 1"), "{text}");
+        // Sanitized and literal spellings address the same series.
+        assert_eq!(m.counter_value("drift__", &[("bad_key", "kept as-is")]), 1);
+    }
+
+    #[test]
+    fn user_le_label_cannot_corrupt_histogram_buckets() {
+        let m = Metrics::new();
+        m.observe("h_us", &[("le", "user")], 75.0);
+        let text = m.render_prometheus();
+        // Exactly one `le` per bucket row, owned by the renderer.
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            assert_eq!(line.matches("le=").count(), 1, "{line}");
+            assert!(!line.contains("le=\"user\""), "{line}");
+        }
+        // The user label still shows on sum/count rows.
+        assert!(text.contains("h_us_sum{le=\"user\"}"), "{text}");
+        assert!(text.contains("h_us_bucket{le=\"100\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn render_order_is_independent_of_insertion_order() {
+        let a = Metrics::new();
+        a.inc("b_total", &[("config", "x")], 1);
+        a.inc("a_total", &[], 2);
+        a.set_gauge("g", &[("r", "1")], 3.0);
+        a.set_gauge("g", &[("r", "0")], 4.0);
+        let b = Metrics::new();
+        b.set_gauge("g", &[("r", "0")], 4.0);
+        b.set_gauge("g", &[("r", "1")], 3.0);
+        b.inc("a_total", &[], 2);
+        b.inc("b_total", &[("config", "x")], 1);
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+        let text = a.render_prometheus();
+        let a_pos = text.find("a_total").unwrap();
+        let b_pos = text.find("b_total").unwrap();
+        assert!(a_pos < b_pos);
     }
 }

@@ -39,9 +39,12 @@
 
 pub mod export;
 pub mod metrics;
+pub mod prof;
 pub mod trace;
 
-pub use export::{parse_chrome, to_chrome_events, write_chrome, ChromeParseError};
+pub use export::{
+    parse_chrome, to_chrome_events, to_folded_stacks, write_chrome, ChromeParseError,
+};
 pub use metrics::{Metrics, DURATION_BUCKETS_US};
 pub use trace::{AttrValue, CounterSample, SpanGuard, SpanRecord, Trace, Tracer};
 
@@ -246,6 +249,14 @@ pub fn record_launch(
             span.attr(&format!("breakdown.{}", share.class), share.pct);
         }
     }
+
+    // Roofline placement: arithmetic intensity, ceiling fraction and
+    // the bottleneck class the modelled time names.
+    let roof = prof::RooflineRow::new(label, report, device);
+    span.attr("roofline.ai_flops_per_byte", roof.ai_flops_per_byte);
+    span.attr("roofline.pct_of_roof", roof.pct_of_roof);
+    span.attr("roofline.dram_gbps", roof.dram_gbps);
+    span.attr("roofline.bound", roof.bound.name());
 
     counter_sample("SM throughput %", profile.sm_throughput_pct);
     counter_sample("L1 miss %", profile.l1_miss_pct);

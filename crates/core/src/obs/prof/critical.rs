@@ -1,0 +1,647 @@
+//! Critical-path analysis of a sharded Dslash run.
+//!
+//! A sharded run is a small dependency DAG: per rank, the incoming halo
+//! transfer and the compute launches, wired by the exchange schedule —
+//! in-order chains `halo → full`, overlapped joins `halo` and
+//! `interior` into `boundary`.  This module reconstructs that DAG
+//! (from a [`ShardOutcome`] directly, or from an exported
+//! [`modelled_trace`](crate::shard::modelled_trace)), runs the classic
+//! forward/backward critical-path pass, and answers the questions the
+//! scaling study's wall clock alone cannot:
+//!
+//! * which rank, and which step on that rank, *bounds* the wall clock;
+//! * how much slack every other step has before it would start to
+//!   matter;
+//! * what fraction of the blocking-exchange halo cost the schedule
+//!   actually hid (**overlap efficiency** — 0 by definition for
+//!   in-order, strictly positive for overlapped at every N > 1, since
+//!   pipelining alone saves the per-message latencies even when a thin
+//!   slab has no interior work to hide behind).
+//!
+//! The analysis is exact by construction: the critical-path length must
+//! equal the run's modelled `wall_us`, and [`CriticalPath::check`]
+//! turns that into a hard invariant the `profile` bin enforces.
+
+use crate::obs::trace::Trace;
+use crate::shard::{RankRun, ShardMode, ShardOutcome};
+
+/// What a DAG node models.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StepKind {
+    /// The rank's incoming halo transfer (serialized or pipelined).
+    Halo,
+    /// The interior launch (overlapped schedule only).
+    Interior,
+    /// The boundary launch (overlapped schedule only).
+    Boundary,
+    /// The single full-volume launch (in-order schedule only).
+    Full,
+}
+
+impl StepKind {
+    /// Stable name for tables and span attributes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StepKind::Halo => "halo",
+            StepKind::Interior => "interior",
+            StepKind::Boundary => "boundary",
+            StepKind::Full => "full",
+        }
+    }
+}
+
+/// One node of the dependency DAG with its schedule analysis.
+#[derive(Clone, Debug)]
+pub struct Step {
+    /// Owning rank.
+    pub rank: usize,
+    /// What the node models.
+    pub kind: StepKind,
+    /// Modelled duration, µs.
+    pub dur_us: f64,
+    /// Earliest possible start (forward pass), µs.
+    pub earliest_start_us: f64,
+    /// Earliest possible finish, µs.
+    pub earliest_finish_us: f64,
+    /// How long the step could grow without moving the wall clock, µs
+    /// (zero on the critical path).
+    pub slack_us: f64,
+    /// Whether the step lies on the extracted critical path.
+    pub critical: bool,
+    /// Halo payload for [`StepKind::Halo`] steps, bytes.
+    pub bytes: Option<u64>,
+    /// Message count for [`StepKind::Halo`] steps.
+    pub msgs: Option<usize>,
+}
+
+/// Per-rank overlap accounting against the blocking-exchange baseline.
+#[derive(Clone, Debug)]
+pub struct RankOverlap {
+    /// Rank index.
+    pub rank: usize,
+    /// Blocking (serialized) cost of the rank's incoming messages, µs.
+    pub serialized_us: f64,
+    /// Halo time left on the rank's critical path, µs: the full
+    /// schedule cost in-order, `max(comm − interior, 0)` overlapped.
+    pub exposed_us: f64,
+    /// Halo time the schedule hid, µs: `serialized − exposed`.
+    pub hidden_us: f64,
+}
+
+/// The critical-path report of one sharded run.
+#[derive(Clone, Debug)]
+pub struct CriticalPath {
+    /// The exchange schedule the DAG was built under.
+    pub mode: ShardMode,
+    /// Every DAG node with its forward/backward analysis.
+    pub steps: Vec<Step>,
+    /// Indices into `steps` along the critical path, source to sink.
+    pub path: Vec<usize>,
+    /// Length of the critical path, µs.
+    pub length_us: f64,
+    /// The run's modelled wall clock, µs (must equal `length_us`).
+    pub wall_us: f64,
+    /// Per-rank overlap accounting.
+    pub per_rank: Vec<RankOverlap>,
+    /// Fraction of the total blocking-exchange halo cost the schedule
+    /// hid: `Σ hidden / Σ serialized` (0 when no halo moved).
+    pub overlap_efficiency: f64,
+}
+
+/// The mode-independent facts about one rank the DAG is built from.
+#[derive(Clone, Debug)]
+struct RankRecord {
+    rank: usize,
+    comm_us: f64,
+    comm_serialized_us: f64,
+    interior_us: f64,
+    boundary_us: f64,
+    halo_bytes: u64,
+    halo_msgs: usize,
+}
+
+impl RankRecord {
+    fn from_run(r: &RankRun) -> Self {
+        Self {
+            rank: r.rank,
+            comm_us: r.comm_us,
+            comm_serialized_us: r.comm_serialized_us,
+            interior_us: r.interior_us,
+            boundary_us: r.boundary_us,
+            halo_bytes: r.halo_bytes_in,
+            halo_msgs: r.halo_msgs,
+        }
+    }
+}
+
+impl CriticalPath {
+    /// Build the DAG from a run outcome and analyze it.
+    pub fn from_outcome(outcome: &ShardOutcome) -> Self {
+        let records: Vec<RankRecord> = outcome.per_rank.iter().map(RankRecord::from_run).collect();
+        build(outcome.mode, &records, outcome.wall_us)
+    }
+
+    /// Rebuild the DAG from an exported
+    /// [`modelled_trace`](crate::shard::modelled_trace) — the
+    /// `rank<N> comm` / `rank<N> compute` tracks and their span names
+    /// carry everything the analysis needs.  `Err` names the first
+    /// span the parser cannot place.
+    pub fn from_trace(trace: &Trace) -> Result<Self, String> {
+        if trace.spans.is_empty() {
+            return Err("trace has no spans".to_string());
+        }
+        let mut mode: Option<ShardMode> = None;
+        let mut records: Vec<RankRecord> = Vec::new();
+        fn record(records: &mut Vec<RankRecord>, rank: usize) -> &mut RankRecord {
+            if let Some(i) = records.iter().position(|r| r.rank == rank) {
+                return &mut records[i];
+            }
+            records.push(RankRecord {
+                rank,
+                comm_us: 0.0,
+                comm_serialized_us: 0.0,
+                interior_us: 0.0,
+                boundary_us: 0.0,
+                halo_bytes: 0,
+                halo_msgs: 0,
+            });
+            records.last_mut().expect("just pushed")
+        }
+        for s in &trace.spans {
+            let rank = parse_rank_track(&s.track)
+                .ok_or_else(|| format!("span {:?} on unknown track {:?}", s.name, s.track))?;
+            let span_mode = match s.attr("mode").and_then(|a| match a {
+                crate::obs::trace::AttrValue::Str(m) => Some(m.as_str()),
+                _ => None,
+            }) {
+                Some("in-order") => ShardMode::InOrder,
+                Some("overlapped") => ShardMode::Overlapped,
+                other => return Err(format!("span {:?}: bad mode attr {other:?}", s.name)),
+            };
+            match mode {
+                None => mode = Some(span_mode),
+                Some(m) if m == span_mode => {}
+                Some(m) => {
+                    return Err(format!(
+                        "span {:?} mode {} conflicts with {}",
+                        s.name,
+                        span_mode.name(),
+                        m.name()
+                    ))
+                }
+            }
+            let r = record(&mut records, rank);
+            match s.name.as_str() {
+                "halo (serialized)" | "halo (pipelined)" => {
+                    r.comm_us = s.dur_us;
+                    r.comm_serialized_us = s
+                        .attr("serialized_us")
+                        .and_then(crate::obs::trace::AttrValue::as_num)
+                        .unwrap_or(s.dur_us);
+                    r.halo_bytes = s
+                        .attr("bytes")
+                        .and_then(crate::obs::trace::AttrValue::as_num)
+                        .unwrap_or(0.0) as u64;
+                    r.halo_msgs = s
+                        .attr("msgs")
+                        .and_then(crate::obs::trace::AttrValue::as_num)
+                        .unwrap_or(0.0) as usize;
+                }
+                "dslash (full)" => r.boundary_us = s.dur_us,
+                "dslash interior" => r.interior_us = s.dur_us,
+                "dslash boundary" => r.boundary_us = s.dur_us,
+                other => return Err(format!("unknown span name {other:?}")),
+            }
+        }
+        let mode = mode.ok_or("no spans carried a mode attribute")?;
+        records.sort_by_key(|r| r.rank);
+        let wall_us = trace
+            .spans
+            .iter()
+            .map(crate::obs::trace::SpanRecord::end_us)
+            .fold(0.0f64, f64::max);
+        Ok(build(mode, &records, wall_us))
+    }
+
+    /// The invariant the whole analysis rests on: the critical-path
+    /// length equals the run's modelled wall clock within `tol_frac`
+    /// (relative).  `Err` carries the discrepancy.
+    pub fn check(&self, tol_frac: f64) -> Result<(), String> {
+        let scale = self.wall_us.abs().max(1e-12);
+        let rel = (self.length_us - self.wall_us).abs() / scale;
+        if rel <= tol_frac {
+            Ok(())
+        } else {
+            Err(format!(
+                "critical path {:.3} µs vs wall {:.3} µs ({:.4}% > {:.4}% tolerance)",
+                self.length_us,
+                self.wall_us,
+                rel * 100.0,
+                tol_frac * 100.0
+            ))
+        }
+    }
+
+    /// The rank whose chain bounds the wall clock.
+    pub fn bounding_rank(&self) -> usize {
+        self.path.last().map(|&i| self.steps[i].rank).unwrap_or(0)
+    }
+
+    /// Human description of what bounds the wall clock, e.g.
+    /// `rank 1: halo (6 msgs, 0.79 MB) → boundary`.
+    pub fn bounding_description(&self) -> String {
+        if self.path.is_empty() {
+            return "empty run".to_string();
+        }
+        let chain: Vec<String> = self
+            .path
+            .iter()
+            .map(|&i| {
+                let s = &self.steps[i];
+                match (s.kind, s.msgs, s.bytes) {
+                    (StepKind::Halo, Some(m), Some(b)) => {
+                        format!("halo ({m} msgs, {:.2} MB)", b as f64 / 1e6)
+                    }
+                    _ => s.kind.name().to_string(),
+                }
+            })
+            .collect();
+        format!("rank {}: {}", self.bounding_rank(), chain.join(" → "))
+    }
+}
+
+fn parse_rank_track(track: &str) -> Option<usize> {
+    let rest = track.strip_prefix("rank")?;
+    let (digits, suffix) = rest.split_once(' ')?;
+    if suffix != "comm" && suffix != "compute" {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Build the DAG for `mode` over `records` and run the forward
+/// (earliest start/finish) and backward (latest finish, slack) passes.
+fn build(mode: ShardMode, records: &[RankRecord], wall_us: f64) -> CriticalPath {
+    let mut steps: Vec<Step> = Vec::new();
+    // edges[i] lists predecessors of node i.
+    let mut preds: Vec<Vec<usize>> = Vec::new();
+    let push = |steps: &mut Vec<Step>,
+                preds: &mut Vec<Vec<usize>>,
+                rank: usize,
+                kind: StepKind,
+                dur: f64,
+                halo: Option<(u64, usize)>,
+                pred: Vec<usize>|
+     -> usize {
+        steps.push(Step {
+            rank,
+            kind,
+            dur_us: dur,
+            earliest_start_us: 0.0,
+            earliest_finish_us: 0.0,
+            slack_us: 0.0,
+            critical: false,
+            bytes: halo.map(|(b, _)| b),
+            msgs: halo.map(|(_, m)| m),
+        });
+        preds.push(pred);
+        steps.len() - 1
+    };
+
+    for r in records {
+        match mode {
+            ShardMode::InOrder => {
+                let mut chain = Vec::new();
+                if r.comm_us > 0.0 {
+                    chain.push(push(
+                        &mut steps,
+                        &mut preds,
+                        r.rank,
+                        StepKind::Halo,
+                        r.comm_us,
+                        Some((r.halo_bytes, r.halo_msgs)),
+                        vec![],
+                    ));
+                }
+                if r.boundary_us > 0.0 {
+                    push(
+                        &mut steps,
+                        &mut preds,
+                        r.rank,
+                        StepKind::Full,
+                        r.boundary_us,
+                        None,
+                        chain,
+                    );
+                }
+            }
+            ShardMode::Overlapped => {
+                let mut join = Vec::new();
+                if r.comm_us > 0.0 {
+                    join.push(push(
+                        &mut steps,
+                        &mut preds,
+                        r.rank,
+                        StepKind::Halo,
+                        r.comm_us,
+                        Some((r.halo_bytes, r.halo_msgs)),
+                        vec![],
+                    ));
+                }
+                if r.interior_us > 0.0 {
+                    join.push(push(
+                        &mut steps,
+                        &mut preds,
+                        r.rank,
+                        StepKind::Interior,
+                        r.interior_us,
+                        None,
+                        vec![],
+                    ));
+                }
+                if r.boundary_us > 0.0 {
+                    push(
+                        &mut steps,
+                        &mut preds,
+                        r.rank,
+                        StepKind::Boundary,
+                        r.boundary_us,
+                        None,
+                        join,
+                    );
+                }
+            }
+        }
+    }
+
+    // Forward pass: nodes were pushed predecessors-first, so a single
+    // sweep settles earliest start/finish.
+    for i in 0..steps.len() {
+        let es = preds[i]
+            .iter()
+            .map(|&p| steps[p].earliest_finish_us)
+            .fold(0.0f64, f64::max);
+        steps[i].earliest_start_us = es;
+        steps[i].earliest_finish_us = es + steps[i].dur_us;
+    }
+    let length_us = steps
+        .iter()
+        .map(|s| s.earliest_finish_us)
+        .fold(0.0f64, f64::max);
+
+    // Backward pass: latest finish against the single sink at
+    // `length_us`; a node's latest finish is the min over its
+    // successors' latest starts.
+    let mut latest_finish = vec![length_us; steps.len()];
+    for i in (0..steps.len()).rev() {
+        let ls = latest_finish[i] - steps[i].dur_us;
+        for &p in &preds[i] {
+            if ls < latest_finish[p] {
+                latest_finish[p] = ls;
+            }
+        }
+    }
+    for (i, s) in steps.iter_mut().enumerate() {
+        s.slack_us = (latest_finish[i] - s.earliest_finish_us).max(0.0);
+    }
+
+    // Extract one critical chain: start at the sink-side node achieving
+    // the length, walk back through the predecessor whose finish set
+    // the node's start (exact equality — the forward pass copied it).
+    let mut path = Vec::new();
+    if let Some(mut cur) = steps
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.earliest_finish_us == length_us)
+        .map(|(i, _)| i)
+        .next()
+    {
+        loop {
+            path.push(cur);
+            match preds[cur]
+                .iter()
+                .find(|&&p| steps[p].earliest_finish_us == steps[cur].earliest_start_us)
+            {
+                Some(&p) => cur = p,
+                None => break,
+            }
+        }
+    }
+    path.reverse();
+    for &i in &path {
+        steps[i].critical = true;
+    }
+
+    // Overlap accounting against the blocking-exchange baseline.
+    let per_rank: Vec<RankOverlap> = records
+        .iter()
+        .map(|r| {
+            let exposed = match mode {
+                ShardMode::InOrder => r.comm_us,
+                ShardMode::Overlapped => (r.comm_us - r.interior_us).max(0.0),
+            };
+            // Pipelining and compute overlap can only shrink the
+            // exposed cost, never grow it past the blocking baseline.
+            let exposed = exposed.min(r.comm_serialized_us);
+            RankOverlap {
+                rank: r.rank,
+                serialized_us: r.comm_serialized_us,
+                exposed_us: exposed,
+                hidden_us: r.comm_serialized_us - exposed,
+            }
+        })
+        .collect();
+    let serialized_total: f64 = per_rank.iter().map(|r| r.serialized_us).sum();
+    let hidden_total: f64 = per_rank.iter().map(|r| r.hidden_us).sum();
+    let overlap_efficiency = if serialized_total > 0.0 {
+        hidden_total / serialized_total
+    } else {
+        0.0
+    };
+
+    CriticalPath {
+        mode,
+        steps,
+        path,
+        length_us,
+        wall_us,
+        per_rank,
+        overlap_efficiency,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardOutcome;
+    use crate::validate::MaxError;
+
+    fn rank(
+        r: usize,
+        comm: f64,
+        serialized: f64,
+        interior: f64,
+        boundary: f64,
+        wall: f64,
+    ) -> RankRun {
+        RankRun {
+            rank: r,
+            local_size: 32,
+            comm_us: comm,
+            comm_serialized_us: serialized,
+            halo_msgs: 6,
+            interior_us: interior,
+            boundary_us: boundary,
+            wall_us: wall,
+            halo_bytes_in: 1000,
+        }
+    }
+
+    fn outcome(mode: ShardMode, per_rank: Vec<RankRun>) -> ShardOutcome {
+        let wall = per_rank.iter().map(|r| r.wall_us).fold(0.0f64, f64::max);
+        ShardOutcome {
+            label: format!("test ({})", mode.name()),
+            mode,
+            per_rank,
+            wall_us: wall,
+            halo_bytes_total: 2000,
+            gflops: 1.0,
+            error: MaxError::default(),
+        }
+    }
+
+    #[test]
+    fn overlapped_interior_bound_rank_has_halo_slack() {
+        // comm 10 (serialized 14), interior 40, boundary 15: the chain
+        // interior → boundary (55 µs) bounds; the halo has 30 µs slack.
+        let out = outcome(
+            ShardMode::Overlapped,
+            vec![rank(0, 10.0, 14.0, 40.0, 15.0, 55.0)],
+        );
+        let cp = CriticalPath::from_outcome(&out);
+        cp.check(0.0).expect("exact by construction");
+        assert_eq!(cp.length_us, 55.0);
+        let kinds: Vec<StepKind> = cp.path.iter().map(|&i| cp.steps[i].kind).collect();
+        assert_eq!(kinds, vec![StepKind::Interior, StepKind::Boundary]);
+        let halo = cp
+            .steps
+            .iter()
+            .find(|s| s.kind == StepKind::Halo)
+            .expect("halo step exists");
+        assert!(!halo.critical);
+        assert_eq!(halo.slack_us, 30.0);
+        // Interior fully hides the pipelined transfer: everything the
+        // blocking exchange would have cost is hidden.
+        assert_eq!(cp.per_rank[0].exposed_us, 0.0);
+        assert_eq!(cp.per_rank[0].hidden_us, 14.0);
+        assert_eq!(cp.overlap_efficiency, 1.0);
+        assert!(cp.bounding_description().contains("interior → boundary"));
+    }
+
+    #[test]
+    fn overlapped_comm_bound_rank_exposes_the_transfer() {
+        // comm 50 (serialized 60), interior 20, boundary 10: halo →
+        // boundary bounds; 30 of 60 serialized µs are exposed.
+        let out = outcome(
+            ShardMode::Overlapped,
+            vec![rank(0, 50.0, 60.0, 20.0, 10.0, 60.0)],
+        );
+        let cp = CriticalPath::from_outcome(&out);
+        cp.check(0.0).unwrap();
+        let kinds: Vec<StepKind> = cp.path.iter().map(|&i| cp.steps[i].kind).collect();
+        assert_eq!(kinds, vec![StepKind::Halo, StepKind::Boundary]);
+        assert_eq!(cp.per_rank[0].exposed_us, 30.0);
+        assert_eq!(cp.per_rank[0].hidden_us, 30.0);
+        assert_eq!(cp.overlap_efficiency, 0.5);
+    }
+
+    #[test]
+    fn in_order_hides_nothing_and_chains_halo_into_full() {
+        let out = outcome(
+            ShardMode::InOrder,
+            vec![rank(0, 14.0, 14.0, 0.0, 40.0, 54.0)],
+        );
+        let cp = CriticalPath::from_outcome(&out);
+        cp.check(0.0).unwrap();
+        let kinds: Vec<StepKind> = cp.path.iter().map(|&i| cp.steps[i].kind).collect();
+        assert_eq!(kinds, vec![StepKind::Halo, StepKind::Full]);
+        assert_eq!(cp.overlap_efficiency, 0.0);
+        assert!(cp.steps.iter().all(|s| s.critical));
+    }
+
+    #[test]
+    fn slowest_rank_bounds_a_multi_rank_run() {
+        let out = outcome(
+            ShardMode::Overlapped,
+            vec![
+                rank(0, 10.0, 14.0, 40.0, 15.0, 55.0),
+                rank(1, 10.0, 14.0, 60.0, 15.0, 75.0),
+            ],
+        );
+        let cp = CriticalPath::from_outcome(&out);
+        cp.check(0.0).unwrap();
+        assert_eq!(cp.bounding_rank(), 1);
+        // Rank 0's whole chain has slack; rank 1's interior/boundary
+        // have none.
+        for s in &cp.steps {
+            if s.rank == 0 {
+                assert!(s.slack_us >= 20.0, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_reconstruction_agrees_with_the_outcome() {
+        for mode in [ShardMode::InOrder, ShardMode::Overlapped] {
+            // Rank numbers consistent with the mode's wall-clock model:
+            // in-order has no interior launch and wall = comm + full.
+            let out = match mode {
+                ShardMode::InOrder => outcome(
+                    mode,
+                    vec![
+                        rank(0, 14.0, 14.0, 0.0, 55.0, 69.0),
+                        rank(1, 16.0, 16.0, 0.0, 30.0, 46.0),
+                    ],
+                ),
+                ShardMode::Overlapped => outcome(
+                    mode,
+                    vec![
+                        rank(0, 10.0, 14.0, 40.0, 15.0, 55.0),
+                        rank(1, 12.0, 16.0, 0.0, 30.0, 42.0),
+                    ],
+                ),
+            };
+            let from_out = CriticalPath::from_outcome(&out);
+            let from_trace = CriticalPath::from_trace(&crate::shard::modelled_trace(&out))
+                .expect("modelled trace must reconstruct");
+            assert_eq!(from_trace.length_us, from_out.length_us, "{}", mode.name());
+            assert_eq!(from_trace.wall_us, from_out.wall_us);
+            assert_eq!(from_trace.overlap_efficiency, from_out.overlap_efficiency);
+            assert_eq!(from_trace.bounding_rank(), from_out.bounding_rank());
+            assert_eq!(from_trace.steps.len(), from_out.steps.len());
+        }
+    }
+
+    #[test]
+    fn foreign_traces_are_rejected_with_a_reason() {
+        assert!(CriticalPath::from_trace(&Trace::default()).is_err());
+        let t = crate::obs::Tracer::new();
+        {
+            let _s = t.span_on("main", "launch");
+        }
+        let err = CriticalPath::from_trace(&t.snapshot()).unwrap_err();
+        assert!(err.contains("unknown track"), "{err}");
+    }
+
+    #[test]
+    fn check_flags_a_doctored_wall_clock() {
+        let out = outcome(
+            ShardMode::Overlapped,
+            vec![rank(0, 10.0, 14.0, 40.0, 15.0, 55.0)],
+        );
+        let mut cp = CriticalPath::from_outcome(&out);
+        cp.wall_us *= 1.05;
+        assert!(cp.check(0.01).is_err());
+        assert!(cp.check(0.10).is_ok());
+    }
+}

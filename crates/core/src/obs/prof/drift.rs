@@ -1,0 +1,291 @@
+//! Prediction-drift observability: measured vs statically predicted.
+//!
+//! The analytic cost model ([`crate::staticcheck`], PR 6) predicts a
+//! duration and the launch's traffic counters without executing a
+//! lane.  Nothing continuously checked those predictions against
+//! measurement — a regression in either the model or the engine could
+//! silently open a gap.  This module compares every measured launch
+//! against its [`CostEstimate`] along named *paths* (duration, L1 tag
+//! requests, L1 sector requests), exports the signed relative error as
+//! `costmodel_drift_pct{kernel,path}` gauges, and renders a gateable
+//! report: `perfdiff --profile` fails when any path exceeds its
+//! tolerance.
+//!
+//! Tolerances differ by path on purpose.  The replay-based traffic
+//! predictions are statically exact (cross-validated at 0.000%), so
+//! they gate at 1%.  The analytic duration runs the measured launch's
+//! timing formula over *footprint-blend* L1/L2 miss estimates, which
+//! systematically overestimate the miss traffic — the model was built
+//! to be rank-faithful, not absolutely calibrated.  The overestimate
+//! is stable (measured/predicted sits in a ±8% band around
+//! [`DURATION_MODEL_SCALE`] across the whole Table I set), so the
+//! duration path compares against the *scaled* prediction and gates at
+//! 25% — wide enough for the model's documented softness, tight
+//! enough that a doubled duration (or a broken timing weight) trips
+//! it.
+
+use gpu_sim::staticcheck::CostEstimate;
+use gpu_sim::{Counters, LaunchReport};
+
+/// Calibrated ratio of measured duration to the analytic estimate —
+/// the static model's systematic cold-traffic overestimate, measured
+/// once over the twelve Table I configurations (the same
+/// calibrate-against-a-known-set move as
+/// [`gpu_sim::TimingModel::calibrated`]).  The drift gate holds each
+/// launch against `duration_us × DURATION_MODEL_SCALE`.
+pub const DURATION_MODEL_SCALE: f64 = 0.42;
+/// Gate tolerance for the (scale-corrected) duration path, percent.
+pub const DURATION_TOLERANCE_PCT: f64 = 25.0;
+/// Gate tolerance for the replay-exact traffic paths, percent.
+pub const TRAFFIC_TOLERANCE_PCT: f64 = 1.0;
+
+/// One measured-vs-predicted comparison.
+#[derive(Clone, Debug)]
+pub struct DriftPath {
+    /// Path name (`duration`, `l1_tag_requests`, `l1_sector_requests`).
+    pub path: &'static str,
+    /// Measured value (µs or events).
+    pub measured: f64,
+    /// Statically predicted value.
+    pub predicted: f64,
+    /// Signed relative drift, percent: `(measured − predicted) /
+    /// predicted × 100` (0 when both are 0; ±∞ never — a zero
+    /// prediction with a nonzero measurement reports 100% per measured
+    /// unit of nothing predicted, i.e. the path simply fails).
+    pub drift_pct: f64,
+    /// Gate tolerance on `|drift_pct|`.
+    pub tolerance_pct: f64,
+}
+
+impl DriftPath {
+    fn new(path: &'static str, measured: f64, predicted: f64, tolerance_pct: f64) -> Self {
+        let drift_pct = if predicted != 0.0 {
+            100.0 * (measured - predicted) / predicted
+        } else if measured == 0.0 {
+            0.0
+        } else {
+            // Predicted nothing, measured something: cap at a finite
+            // sentinel well past any tolerance.
+            1e6
+        };
+        Self {
+            path,
+            measured,
+            predicted,
+            drift_pct,
+            tolerance_pct,
+        }
+    }
+
+    /// Whether the path is inside its gate tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.drift_pct.abs() <= self.tolerance_pct
+    }
+}
+
+/// All drift paths of one launch.
+#[derive(Clone, Debug)]
+pub struct DriftRow {
+    /// Launch label (Table I short config label).
+    pub kernel: String,
+    /// Work-group size of the launch.
+    pub local_size: u32,
+    /// The compared paths.
+    pub paths: Vec<DriftPath>,
+}
+
+impl DriftRow {
+    /// Compare a measured launch against its static estimate.
+    pub fn new(kernel: &str, report: &LaunchReport, estimate: &CostEstimate) -> Self {
+        Self::from_parts(
+            kernel,
+            report.range.local,
+            report.duration_us,
+            &report.counters,
+            estimate,
+        )
+    }
+
+    /// Compare from raw measured parts — lets callers inject an
+    /// inflated duration to prove the FAIL path.
+    pub fn from_parts(
+        kernel: &str,
+        local_size: u32,
+        measured_duration_us: f64,
+        measured: &Counters,
+        estimate: &CostEstimate,
+    ) -> Self {
+        let e = &estimate.counters;
+        Self {
+            kernel: kernel.to_string(),
+            local_size,
+            paths: vec![
+                DriftPath::new(
+                    "duration",
+                    measured_duration_us,
+                    estimate.duration_us * DURATION_MODEL_SCALE,
+                    DURATION_TOLERANCE_PCT,
+                ),
+                DriftPath::new(
+                    "l1_tag_requests",
+                    measured.l1_tag_requests_global as f64,
+                    e.l1_tag_requests_global as f64,
+                    TRAFFIC_TOLERANCE_PCT,
+                ),
+                DriftPath::new(
+                    "l1_sector_requests",
+                    measured.l1_sector_requests as f64,
+                    e.l1_sector_requests as f64,
+                    TRAFFIC_TOLERANCE_PCT,
+                ),
+            ],
+        }
+    }
+
+    /// Whether every path is inside tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.paths.iter().all(DriftPath::within_tolerance)
+    }
+}
+
+/// The drift report over a launch set (the 12 Table I configs).
+#[derive(Clone, Debug, Default)]
+pub struct DriftReport {
+    /// One row per launch.
+    pub rows: Vec<DriftRow>,
+}
+
+impl DriftReport {
+    /// Whether any path on any row breaks its tolerance.
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| !r.within_tolerance())
+    }
+
+    /// The path with the largest `|drift_pct|`, with its row.
+    pub fn worst(&self) -> Option<(&DriftRow, &DriftPath)> {
+        self.rows
+            .iter()
+            .flat_map(|r| r.paths.iter().map(move |p| (r, p)))
+            .max_by(|a, b| {
+                a.1.drift_pct
+                    .abs()
+                    .partial_cmp(&b.1.drift_pct.abs())
+                    .expect("finite drift")
+            })
+    }
+
+    /// Export every path as a `costmodel_drift_pct{kernel,path}` gauge
+    /// on the ambient metrics registry.
+    pub fn record_metrics(&self) {
+        for row in &self.rows {
+            for p in &row.paths {
+                crate::obs::metric_gauge(
+                    "costmodel_drift_pct",
+                    &[("kernel", &row.kernel), ("path", p.path)],
+                    p.drift_pct,
+                );
+            }
+        }
+    }
+
+    /// Render as a markdown table, one line per (kernel, path).
+    pub fn render_md(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| config | ls | path | measured | predicted | drift % | tol % | gate |\n");
+        out.push_str("|---|---:|---|---:|---:|---:|---:|---|\n");
+        for row in &self.rows {
+            for p in &row.paths {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {:.2} | {:.2} | {:+.3} | {:.0} | {} |\n",
+                    row.kernel,
+                    row.local_size,
+                    p.path,
+                    p.measured,
+                    p.predicted,
+                    p.drift_pct,
+                    p.tolerance_pct,
+                    if p.within_tolerance() { "ok" } else { "FAIL" }
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(measured: f64, predicted: f64, tol: f64) -> DriftPath {
+        DriftPath::new("duration", measured, predicted, tol)
+    }
+
+    #[test]
+    fn drift_is_signed_relative_error() {
+        let p = path(110.0, 100.0, 25.0);
+        assert!((p.drift_pct - 10.0).abs() < 1e-12);
+        assert!(p.within_tolerance());
+        let p = path(60.0, 100.0, 25.0);
+        assert!((p.drift_pct + 40.0).abs() < 1e-12);
+        assert!(!p.within_tolerance());
+    }
+
+    #[test]
+    fn zero_prediction_cases() {
+        assert_eq!(path(0.0, 0.0, 1.0).drift_pct, 0.0);
+        let p = path(5.0, 0.0, 1.0);
+        assert!(p.drift_pct.is_finite());
+        assert!(!p.within_tolerance());
+    }
+
+    #[test]
+    fn report_gates_on_any_failing_path() {
+        let good = DriftRow {
+            kernel: "a".into(),
+            local_size: 32,
+            paths: vec![path(100.0, 100.0, 25.0)],
+        };
+        let bad = DriftRow {
+            kernel: "b".into(),
+            local_size: 64,
+            paths: vec![path(100.0, 100.0, 25.0), path(200.0, 100.0, 25.0)],
+        };
+        let ok = DriftReport {
+            rows: vec![good.clone()],
+        };
+        assert!(!ok.failed());
+        let report = DriftReport {
+            rows: vec![good, bad],
+        };
+        assert!(report.failed());
+        let (row, worst) = report.worst().expect("non-empty");
+        assert_eq!(row.kernel, "b");
+        assert!((worst.drift_pct - 100.0).abs() < 1e-12);
+        let md = report.render_md();
+        assert!(md.contains("FAIL"), "{md}");
+        assert!(md.contains("| ok |") || md.contains(" ok "), "{md}");
+    }
+
+    #[test]
+    fn metrics_export_uses_kernel_and_path_labels() {
+        let m = crate::obs::Metrics::new();
+        let report = DriftReport {
+            rows: vec![DriftRow {
+                kernel: "1LP k".into(),
+                local_size: 32,
+                paths: vec![path(110.0, 100.0, 25.0)],
+            }],
+        };
+        {
+            let _g = crate::obs::set_metrics(&m);
+            report.record_metrics();
+        }
+        assert_eq!(
+            m.gauge_value(
+                "costmodel_drift_pct",
+                &[("kernel", "1LP k"), ("path", "duration")]
+            ),
+            Some(10.0)
+        );
+    }
+}

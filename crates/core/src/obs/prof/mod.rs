@@ -1,0 +1,28 @@
+//! Perf-explainability: *why* a run took the time it did.
+//!
+//! The tracing layer ([`super::trace`]) records what happened; this
+//! module explains it, with three pillars:
+//!
+//! * [`critical`] — dependency-DAG critical-path analysis of sharded
+//!   runs: which rank/step bounds the wall clock, per-step slack, and
+//!   the overlap efficiency of the exchange schedule, with an exact
+//!   length-equals-wall invariant;
+//! * [`roofline`] — per-launch arithmetic intensity and bottleneck
+//!   classification (DRAM-/L2-/L1-/issue-bound) against the device
+//!   roofline, stamped onto launch spans and `results/roofline.csv`;
+//! * [`drift`] — measured-vs-predicted comparison against the static
+//!   cost model, exported as `costmodel_drift_pct{kernel,path}` gauges
+//!   and gated by `perfdiff --profile`.
+//!
+//! The `profile` bin drives all three and writes `results/profile.md`.
+
+pub mod critical;
+pub mod drift;
+pub mod roofline;
+
+pub use critical::{CriticalPath, RankOverlap, Step, StepKind};
+pub use drift::{
+    DriftPath, DriftReport, DriftRow, DURATION_MODEL_SCALE, DURATION_TOLERANCE_PCT,
+    TRAFFIC_TOLERANCE_PCT,
+};
+pub use roofline::{Bottleneck, RooflineRow};

@@ -1,0 +1,249 @@
+//! Roofline attribution of individual launches.
+//!
+//! For each launch we compute the arithmetic intensity (recorded FLOPs
+//! over DRAM bytes actually moved, i.e. L2 sector misses × sector
+//! size), place it against the device's FP64/DRAM roofline, and name
+//! the bottleneck class the modelled time actually went to — the
+//! quantitative form of the paper's "MILC-Dslash is memory-bound"
+//! argument, attached to every span and exported as
+//! `results/roofline.csv`.
+
+use gpu_sim::{Counters, DeviceSpec, LaunchReport, TimeBreakdown, TimingModel};
+
+/// Which resource bounds a launch, derived from the dominant
+/// [`TimeBreakdown`] class.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// DRAM sector traffic dominates.
+    Dram,
+    /// L2 sector traffic dominates.
+    L2,
+    /// L1 traffic (tags or sectors) dominates.
+    L1,
+    /// Shared-memory wavefronts dominate.
+    Shared,
+    /// Atomic serialization dominates.
+    Atomic,
+    /// Instruction issue (or barriers) dominates.
+    Issue,
+}
+
+impl Bottleneck {
+    /// Map a [`TimeBreakdown`] dominant-class name.
+    pub fn from_class(class: &str) -> Self {
+        match class {
+            "DRAM sector traffic" => Bottleneck::Dram,
+            "L2 sector traffic" => Bottleneck::L2,
+            "L1 tag requests (coalescing)" | "L1 sector traffic" => Bottleneck::L1,
+            "shared-memory wavefronts" => Bottleneck::Shared,
+            "atomic serialization" => Bottleneck::Atomic,
+            _ => Bottleneck::Issue,
+        }
+    }
+
+    /// Stable name for CSV columns and span attributes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Bottleneck::Dram => "dram-bound",
+            Bottleneck::L2 => "l2-bound",
+            Bottleneck::L1 => "l1-bound",
+            Bottleneck::Shared => "shared-bound",
+            Bottleneck::Atomic => "atomic-bound",
+            Bottleneck::Issue => "issue-bound",
+        }
+    }
+}
+
+/// One launch placed on the device roofline.
+#[derive(Clone, Debug)]
+pub struct RooflineRow {
+    /// Launch label (Table I short config label, kernel name, …).
+    pub label: String,
+    /// Arithmetic intensity: FLOPs per DRAM byte (0 when no DRAM
+    /// traffic — fully cache-resident launches sit off the memory
+    /// roofline).
+    pub ai_flops_per_byte: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Roofline ceiling at this intensity, GFLOP/s:
+    /// `min(peak, ai × DRAM bandwidth)`; the flat compute roof when
+    /// no DRAM moved.
+    pub roof_gflops: f64,
+    /// Achieved as a fraction of the ceiling, percent.
+    pub pct_of_roof: f64,
+    /// Achieved DRAM bandwidth, GB/s.
+    pub dram_gbps: f64,
+    /// Dominant bottleneck class.
+    pub bound: Bottleneck,
+    /// Share of modelled time the dominant class holds, percent.
+    pub bound_pct: f64,
+}
+
+impl RooflineRow {
+    /// Attribute one launch on `device`'s roofline.
+    pub fn new(label: &str, report: &LaunchReport, device: &DeviceSpec) -> Self {
+        Self::from_parts(label, &report.counters, report.duration_us, device)
+    }
+
+    /// Attribute from raw counters and a duration — also usable on
+    /// statically estimated launches.
+    pub fn from_parts(
+        label: &str,
+        counters: &Counters,
+        duration_us: f64,
+        device: &DeviceSpec,
+    ) -> Self {
+        let peak_gflops = device.fp64_peak_tflops * 1e3;
+        let dram_bytes = counters.dram_bytes(device.sector_bytes) as f64;
+        let flops = counters.flops as f64;
+        // Guard the zero-DRAM case explicitly: an infinite intensity
+        // would leak into span attributes and JSON exports.
+        let ai = if dram_bytes > 0.0 {
+            flops / dram_bytes
+        } else {
+            0.0
+        };
+        let roof = if dram_bytes > 0.0 {
+            peak_gflops.min(ai * device.dram_bw_gbps)
+        } else {
+            peak_gflops
+        };
+        let gflops = if duration_us > 0.0 {
+            flops / duration_us / 1e3
+        } else {
+            0.0
+        };
+        let dram_gbps = if duration_us > 0.0 {
+            dram_bytes / duration_us / 1e3
+        } else {
+            0.0
+        };
+        let breakdown = TimeBreakdown::new(&TimingModel::calibrated(), counters);
+        let dominant = breakdown.dominant();
+        Self {
+            label: label.to_string(),
+            ai_flops_per_byte: ai,
+            gflops,
+            roof_gflops: roof,
+            pct_of_roof: if roof > 0.0 {
+                100.0 * gflops / roof
+            } else {
+                0.0
+            },
+            dram_gbps,
+            bound: Bottleneck::from_class(dominant.class),
+            bound_pct: dominant.pct,
+        }
+    }
+
+    /// CSV header matching [`RooflineRow::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "config,ai_flops_per_byte,gflops,roof_gflops,pct_of_roof,dram_gbps,bound,bound_pct"
+    }
+
+    /// One CSV data row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{:.4},{:.2},{:.2},{:.2},{:.2},{},{:.1}",
+            self.label,
+            self.ai_flops_per_byte,
+            self.gflops,
+            self.roof_gflops,
+            self.pct_of_roof,
+            self.dram_gbps,
+            self.bound.name(),
+            self.bound_pct
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dslash_like() -> Counters {
+        Counters {
+            flops: 1_000_000_000,
+            l1_tag_requests_global: 10_000_000,
+            l1_sector_requests: 20_000_000,
+            l2_sector_requests: 5_000_000,
+            l2_sector_misses: 2_000_000,
+            warp_instructions: 8_000_000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn dslash_profile_is_memory_bound_and_below_roof() {
+        let dev = DeviceSpec::a100();
+        // 1e9 flops in 250 µs = 4 TFLOP/s — plausible, below the roof.
+        let row = RooflineRow::from_parts("test", &dslash_like(), 250.0, &dev);
+        // 1e9 flops over 64e6 DRAM bytes = 15.6 flops/byte.
+        assert!((row.ai_flops_per_byte - 1e9 / 64e6).abs() < 1e-9);
+        assert!(row.roof_gflops <= dev.fp64_peak_tflops * 1e3);
+        assert!(row.pct_of_roof > 0.0 && row.pct_of_roof <= 100.0 + 1e-9);
+        assert!(matches!(
+            row.bound,
+            Bottleneck::Dram | Bottleneck::L2 | Bottleneck::L1
+        ));
+        assert!(row.bound_pct > 0.0);
+    }
+
+    #[test]
+    fn zero_dram_traffic_yields_finite_numbers() {
+        let c = Counters {
+            flops: 1_000,
+            warp_instructions: 100,
+            ..Default::default()
+        };
+        let dev = DeviceSpec::a100();
+        let row = RooflineRow::from_parts("resident", &c, 1.0, &dev);
+        assert_eq!(row.ai_flops_per_byte, 0.0);
+        assert_eq!(row.roof_gflops, dev.fp64_peak_tflops * 1e3);
+        assert!(row.ai_flops_per_byte.is_finite() && row.pct_of_roof.is_finite());
+        assert_eq!(row.bound, Bottleneck::Issue);
+    }
+
+    #[test]
+    fn zero_duration_yields_zero_rates() {
+        let row = RooflineRow::from_parts("degenerate", &dslash_like(), 0.0, &DeviceSpec::a100());
+        assert_eq!(row.gflops, 0.0);
+        assert_eq!(row.dram_gbps, 0.0);
+        assert_eq!(row.pct_of_roof, 0.0);
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let row = RooflineRow::from_parts("cfg", &dslash_like(), 50.0, &DeviceSpec::a100());
+        let cols = RooflineRow::csv_header().split(',').count();
+        assert_eq!(row.csv_row().split(',').count(), cols);
+    }
+
+    #[test]
+    fn bottleneck_class_mapping_is_total() {
+        assert_eq!(
+            Bottleneck::from_class("DRAM sector traffic"),
+            Bottleneck::Dram
+        );
+        assert_eq!(Bottleneck::from_class("L2 sector traffic"), Bottleneck::L2);
+        assert_eq!(Bottleneck::from_class("L1 sector traffic"), Bottleneck::L1);
+        assert_eq!(
+            Bottleneck::from_class("L1 tag requests (coalescing)"),
+            Bottleneck::L1
+        );
+        assert_eq!(
+            Bottleneck::from_class("shared-memory wavefronts"),
+            Bottleneck::Shared
+        );
+        assert_eq!(
+            Bottleneck::from_class("atomic serialization"),
+            Bottleneck::Atomic
+        );
+        assert_eq!(
+            Bottleneck::from_class("instruction issue"),
+            Bottleneck::Issue
+        );
+        assert_eq!(Bottleneck::from_class("barrier waits"), Bottleneck::Issue);
+        assert_eq!(Bottleneck::from_class("anything else"), Bottleneck::Issue);
+    }
+}

@@ -60,6 +60,13 @@ pub struct RankRun {
     pub local_size: u32,
     /// Incoming halo cost under the run's schedule, µs.
     pub comm_us: f64,
+    /// What the same incoming message set would cost under a blocking
+    /// (serialized) exchange, µs.  Equals `comm_us` under the in-order
+    /// schedule; under the overlapped schedule it is the baseline the
+    /// critical-path analyzer measures hidden halo time against.
+    pub comm_serialized_us: f64,
+    /// Number of incoming halo messages.
+    pub halo_msgs: usize,
     /// Interior launch (kernel + queue overhead), µs; zero when the
     /// slab has no interior targets or the schedule is in-order.
     pub interior_us: f64,
@@ -199,9 +206,10 @@ pub fn run_sharded_with<C: ComplexField>(
         let mut state = DeviceState::new(device);
         let mut queue = Queue::on_device(device, QueueMode::InOrder);
 
+        let comm_serialized_us = group.link.serialized_us(halo_in.iter().copied());
         let run = match mode {
             ShardMode::InOrder => {
-                let comm_us = group.link.serialized_us(halo_in.iter().copied());
+                let comm_us = comm_serialized_us;
                 let (full_us, ls) = launch_phase(
                     rank,
                     cfg,
@@ -217,6 +225,8 @@ pub fn run_sharded_with<C: ComplexField>(
                     rank: r,
                     local_size: ls,
                     comm_us,
+                    comm_serialized_us,
+                    halo_msgs: halo_in.len(),
                     interior_us: 0.0,
                     boundary_us: full_us,
                     wall_us: comm_us + full_us,
@@ -251,6 +261,8 @@ pub fn run_sharded_with<C: ComplexField>(
                     rank: r,
                     local_size: ls,
                     comm_us,
+                    comm_serialized_us,
+                    halo_msgs: halo_in.len(),
                     interior_us,
                     boundary_us,
                     wall_us: comm_us.max(interior_us) + boundary_us,
@@ -336,24 +348,27 @@ pub fn run_rank_sanitized<C: ComplexField>(
 pub fn modelled_trace(outcome: &ShardOutcome) -> Trace {
     let mut trace = Trace::default();
     let mut seq = 0u64;
-    let mut span = |track: String, name: &str, start: f64, dur: f64, bytes: Option<u64>| {
-        let mut attrs: Vec<(String, obs::trace::AttrValue)> =
-            vec![("mode".into(), outcome.mode.name().into())];
-        if let Some(b) = bytes {
-            attrs.push(("bytes".into(), b.into()));
-        }
-        let rec = SpanRecord {
-            name: name.to_string(),
-            track,
-            start_us: start,
-            dur_us: dur,
-            depth: 0,
-            seq,
-            attrs,
+    let mut span =
+        |track: String, name: &str, start: f64, dur: f64, halo: Option<(u64, f64, usize)>| {
+            let mut attrs: Vec<(String, obs::trace::AttrValue)> =
+                vec![("mode".into(), outcome.mode.name().into())];
+            if let Some((bytes, serialized_us, msgs)) = halo {
+                attrs.push(("bytes".into(), bytes.into()));
+                attrs.push(("serialized_us".into(), serialized_us.into()));
+                attrs.push(("msgs".into(), (msgs as u64).into()));
+            }
+            let rec = SpanRecord {
+                name: name.to_string(),
+                track,
+                start_us: start,
+                dur_us: dur,
+                depth: 0,
+                seq,
+                attrs,
+            };
+            seq += 1;
+            rec
         };
-        seq += 1;
-        rec
-    };
     let mut spans = Vec::new();
     for r in &outcome.per_rank {
         let comm_track = format!("rank{} comm", r.rank);
@@ -366,7 +381,7 @@ pub fn modelled_trace(outcome: &ShardOutcome) -> Trace {
                         "halo (serialized)",
                         0.0,
                         r.comm_us,
-                        Some(r.halo_bytes_in),
+                        Some((r.halo_bytes_in, r.comm_serialized_us, r.halo_msgs)),
                     ));
                 }
                 spans.push(span(
@@ -384,7 +399,7 @@ pub fn modelled_trace(outcome: &ShardOutcome) -> Trace {
                         "halo (pipelined)",
                         0.0,
                         r.comm_us,
-                        Some(r.halo_bytes_in),
+                        Some((r.halo_bytes_in, r.comm_serialized_us, r.halo_msgs)),
                     ));
                 }
                 if r.interior_us > 0.0 {
@@ -510,6 +525,8 @@ mod tests {
                 rank: 0,
                 local_size: 32,
                 comm_us: 10.0,
+                comm_serialized_us: 14.0,
+                halo_msgs: 6,
                 interior_us: 40.0,
                 boundary_us: 15.0,
                 wall_us: 55.0,

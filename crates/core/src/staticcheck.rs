@@ -99,6 +99,33 @@ pub fn occupancy_report<C: ComplexField>(
     )
 }
 
+/// Analytic cost estimate of one `(config, local size)` launch — the
+/// prediction the drift gate ([`crate::obs::prof::drift`]) holds the
+/// measured launch against.  Same estimation path as
+/// [`rank_candidates`], but for a single requested size.
+pub fn estimate_config<C: ComplexField>(
+    problem: &DslashProblem<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+) -> Result<CostEstimate, String> {
+    if !cfg.local_size_legal(local_size, problem.lattice().half_volume() as u64) {
+        return Err(format!(
+            "local size {local_size} illegal for {}",
+            cfg.label()
+        ));
+    }
+    let range = problem.launch_range(cfg, local_size);
+    let kernel = problem.make_kernel(cfg, range.num_groups());
+    estimate_launch(
+        kernel.as_ref(),
+        &range,
+        device,
+        problem.memory(),
+        &TimingModel::calibrated(),
+    )
+}
+
 /// One candidate local size in a static ranking.
 #[derive(Clone, Debug)]
 pub struct RankedCandidate {

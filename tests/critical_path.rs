@@ -1,0 +1,99 @@
+//! Critical-path analysis of real sharded runs: for every rank count
+//! and both exchange schedules, the dependency-DAG critical path must
+//! equal the modelled wall clock *exactly* (the DAG is built from the
+//! same per-rank timelines the runner summed), the overlapped schedule
+//! must hide strictly more halo time than in-order, and the exported
+//! Perfetto timeline must round-trip — through `parse_chrome` and
+//! through the trace-side DAG reconstruction — without losing any of
+//! it.
+//!
+//! Runs at L = 8, where every slab is all-boundary (interior empty):
+//! the degenerate case for the DAG builder, since the overlapped graph
+//! collapses to halo → boundary with no interior node to hide behind —
+//! overlap efficiency must still be positive (pipelining alone saves
+//! per-message latency) and strictly above the in-order zero.
+
+use gpu_sim::{DeviceGroup, DeviceSpec, Interconnect};
+use milc_complex::DoubleComplex as Z;
+use milc_dslash::obs::prof::CriticalPath;
+use milc_dslash::shard::{modelled_trace, run_sharded, ShardMode, ShardedProblem};
+use milc_dslash::{obs, IndexOrder, KernelConfig, Strategy};
+
+const SEED: u64 = 2024;
+const RANKS: [usize; 3] = [2, 4, 8];
+
+fn outcome(n: usize, mode: ShardMode) -> milc_dslash::shard::ShardOutcome {
+    let mut sharded = ShardedProblem::<Z>::random(8, SEED, n);
+    let group = DeviceGroup::homogeneous(DeviceSpec::test_small(), n, Interconnect::nvlink());
+    let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+    run_sharded(&mut sharded, cfg, &group, mode, 256).expect("sharded run")
+}
+
+#[test]
+fn critical_path_length_equals_wall_on_every_config() {
+    for n in RANKS {
+        for mode in [ShardMode::InOrder, ShardMode::Overlapped] {
+            let out = outcome(n, mode);
+            let cp = CriticalPath::from_outcome(&out);
+            cp.check(0.01)
+                .unwrap_or_else(|e| panic!("N={n} {mode:?}: {e}"));
+            assert_eq!(
+                cp.length_us, out.wall_us,
+                "N={n} {mode:?}: path length must equal the wall clock exactly"
+            );
+            assert!(
+                !cp.path.is_empty() && cp.steps.iter().any(|s| s.critical),
+                "N={n} {mode:?}: no critical steps marked"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlapped_schedule_hides_strictly_more_halo_time() {
+    for n in RANKS {
+        let ino = CriticalPath::from_outcome(&outcome(n, ShardMode::InOrder));
+        let ovl = CriticalPath::from_outcome(&outcome(n, ShardMode::Overlapped));
+        assert_eq!(
+            ino.overlap_efficiency, 0.0,
+            "N={n}: a blocking exchange hides nothing"
+        );
+        assert!(
+            ovl.overlap_efficiency > 0.0,
+            "N={n}: overlapped efficiency {} must be positive",
+            ovl.overlap_efficiency
+        );
+    }
+}
+
+#[test]
+fn sharded_timeline_round_trips_and_rebuilds_the_same_dag() {
+    for mode in [ShardMode::InOrder, ShardMode::Overlapped] {
+        let out = outcome(4, mode);
+        let trace = modelled_trace(&out);
+
+        // Chrome-JSON round trip of the sharded timeline is lossless.
+        let text = obs::write_chrome(&trace);
+        let parsed = obs::parse_chrome(&text).expect("emitted trace must re-parse");
+        assert_eq!(parsed.spans.len(), trace.spans.len(), "{mode:?}");
+        for (a, b) in parsed.spans.iter().zip(trace.spans.iter()) {
+            assert_eq!(a.name, b.name, "{mode:?}");
+            assert_eq!(a.track, b.track, "{mode:?}");
+        }
+
+        // The trace alone carries enough structure to rebuild the DAG.
+        let from_trace = CriticalPath::from_trace(&trace).expect("sharded trace must reconstruct");
+        let from_outcome = CriticalPath::from_outcome(&out);
+        assert!(
+            (from_trace.length_us - from_outcome.length_us).abs() < 1e-9,
+            "{mode:?}: {} vs {}",
+            from_trace.length_us,
+            from_outcome.length_us
+        );
+        assert!(
+            (from_trace.overlap_efficiency - from_outcome.overlap_efficiency).abs() < 1e-12,
+            "{mode:?}"
+        );
+        assert_eq!(from_trace.steps.len(), from_outcome.steps.len(), "{mode:?}");
+    }
+}
