@@ -34,6 +34,9 @@ cargo run --offline --release -p milc-bench --bin table1 -- 16 --trace results/t
 test -s results/table1.trace.json || { echo "table1 did not write the trace"; exit 1; }
 test -s results/metrics.txt || { echo "table1 did not write the metrics snapshot"; exit 1; }
 
+echo "== layout_diff (shared-layout bitwise identity + bank-conflict proofs, all local-mem configs) =="
+cargo test --offline -q --test layout_diff
+
 echo "== shard_diff (sharded vs single-device bitwise identity, all Table I configs) =="
 cargo test --offline -q --test shard_diff
 

@@ -173,7 +173,11 @@ fn main() {
                 .iter()
                 .map(|col| KernelConfig::new(col.strategy, col.order))
                 .find(|c| c.label() == row.kernel)
-                .unwrap_or_else(|| panic!("{ranked_path}: unknown kernel {:?}", row.kernel));
+                .unwrap_or_else(|| panic!("{ranked_path}: unknown kernel {:?}", row.kernel))
+                .with_layout(
+                    milc_dslash::SharedLayout::from_tag(&row.layout)
+                        .unwrap_or_else(|| panic!("{ranked_path}: bad layout {:?}", row.layout)),
+                );
             baseline.push(BaselineEntry {
                 config: format!("ranked:{}", row.kernel),
                 duration_us: row.duration_us,

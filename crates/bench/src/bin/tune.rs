@@ -20,11 +20,11 @@
 //! `TUNECACHE_VERSION` bump handles that automatically), delete the
 //! cache file; the next run re-sweeps everything.
 
-use gpu_sim::QueueMode;
+use gpu_sim::{QueueMode, StaticCheckConfig};
 use milc_bench::{paper, Experiment};
 use milc_complex::DoubleComplex;
-use milc_dslash::tune::{sweep_config, sweep_config_with_mode, LoadOutcome, SweepMode, Tuner};
-use milc_dslash::{DslashProblem, KernelConfig};
+use milc_dslash::tune::{sweep_layouts_with_mode, LoadOutcome, SweepMode, Tuner};
+use milc_dslash::{run_config_staticcheck, DslashProblem, KernelConfig};
 use std::path::{Path, PathBuf};
 
 /// How many ranked candidates a pruned sweep times.
@@ -112,10 +112,10 @@ fn main() {
     );
     md.push_str("## Tuned winners\n\n");
     md.push_str(
-        "| config | winner | duration (µs) | GFLOP/s (A100-equiv) | \
+        "| config | winner | layout | duration (µs) | GFLOP/s (A100-equiv) | \
          candidates ok/rejected | waves | tail | source |\n",
     );
-    md.push_str("|---|---:|---:|---:|---:|---:|---:|---|\n");
+    md.push_str("|---|---:|---|---:|---:|---:|---:|---:|---|\n");
 
     let mut decisions = Vec::new();
     for &cfg in &configs {
@@ -133,15 +133,17 @@ fn main() {
                     })
                     .unwrap_or_else(|| ("—".into(), "—".into()));
                 eprintln!(
-                    "  {:16} -> {:4} ({:9.1} µs, {source})",
+                    "  {:16} -> {:4} {:4} ({:9.1} µs, {source})",
                     cfg.label(),
                     d.entry.local_size,
+                    d.entry.layout,
                     d.entry.duration_us
                 );
                 md.push_str(&format!(
-                    "| {} | {} | {:.1} | {:.1} | {}/{} | {} | {} | {source} |\n",
+                    "| {} | {} | {} | {:.1} | {:.1} | {}/{} | {} | {} | {source} |\n",
                     cfg.label(),
                     d.entry.local_size,
+                    d.entry.layout,
                     d.entry.duration_us,
                     d.entry.gflops * exp.a100_equiv_factor(),
                     d.entry.candidates_ok,
@@ -154,7 +156,7 @@ fn main() {
             Err(e) => {
                 eprintln!("  {:16} -> TUNE FAILED: {e}", cfg.label());
                 md.push_str(&format!(
-                    "| {} | — | — | — | — | — | — | FAILED: {e} |\n",
+                    "| {} | — | — | — | — | — | — | — | FAILED: {e} |\n",
                     cfg.label()
                 ));
                 failed = true;
@@ -166,6 +168,65 @@ fn main() {
     if let Err(e) = tuner.save() {
         eprintln!("tune: FAILED to save cache: {e}");
         failed = true;
+    }
+
+    // -- Phase 1b: per-layout shared-memory wavefronts at each tuned
+    //    local size, proven symbolically — the table that shows *why*
+    //    the tuner picks a remedy layout on the conflict-heavy kernels.
+    md.push_str(
+        "\n## Per-layout shared-memory wavefronts (static bank proof, at the tuned size)\n\n\
+         | config | local | layout | wavefronts | ideal | excessive | tuned |\n\
+         |---|---:|---|---:|---:|---:|---|\n",
+    );
+    eprintln!("phase 1b: proving per-layout shared wavefronts ...");
+    for d in &decisions {
+        let cfg = configs
+            .iter()
+            .find(|c| c.label() == d.entry.key.kernel)
+            .copied()
+            .expect("decision belongs to a Table I configuration");
+        if !cfg.strategy.uses_local_mem() {
+            continue;
+        }
+        let ls = d.entry.local_size;
+        for &layout in &cfg.tunable_layouts() {
+            let lcfg = cfg.with_layout(layout);
+            let row = match run_config_staticcheck(
+                &problem,
+                lcfg,
+                ls,
+                &exp.device,
+                &StaticCheckConfig::full(),
+            )
+            .ok()
+            .and_then(|r| r.bank_proof)
+            {
+                Some(proof) => format!(
+                    "| {} | {} | {} | {} | {} | {} | {} |\n",
+                    cfg.label(),
+                    ls,
+                    layout.tag(),
+                    proof.shared_wavefronts,
+                    proof.shared_wavefronts_ideal,
+                    proof.excessive(),
+                    if layout.tag() == d.entry.layout {
+                        "**winner**"
+                    } else {
+                        ""
+                    }
+                ),
+                None => {
+                    failed = true;
+                    format!(
+                        "| {} | {} | {} | — | — | — | NO PROOF |\n",
+                        cfg.label(),
+                        ls,
+                        layout.tag()
+                    )
+                }
+            };
+            md.push_str(&row);
+        }
     }
 
     // -- Phase 2: a fresh tuner (new process, in effect) reloads the
@@ -213,7 +274,7 @@ fn main() {
     //    exhaustive sweep's selections (duration-equivalent winners)
     //    while avoiding most of its launches.
     md.push_str(&format!(
-        "\n## Ranked sweeps (static pruning, top-{RANKED_TOP_K} timed)\n\n\
+        "\n## Ranked sweeps (static pruning over local size × layout, top-{RANKED_TOP_K} timed)\n\n\
          | config | candidates | sweep launches full | sweep launches ranked \
          | launches avoided | winner full | winner ranked | Δ duration | status |\n\
          |---|---:|---:|---:|---:|---:|---:|---:|---|\n"
@@ -221,9 +282,15 @@ fn main() {
     eprintln!("phase 3 (ranked sweeps): exhaustive vs statically pruned ...");
     let mut full_launches = 0u64;
     let mut ranked_launches = 0u64;
-    let mut ranked_rows: Vec<(String, u32, f64)> = Vec::new();
+    let mut ranked_rows: Vec<(String, u32, String, f64)> = Vec::new();
     for &cfg in &configs {
-        let full = match sweep_config(&mut problem, cfg, &exp.device, QueueMode::OutOfOrder) {
+        let full = match sweep_layouts_with_mode(
+            &mut problem,
+            cfg,
+            &exp.device,
+            QueueMode::OutOfOrder,
+            SweepMode::Exhaustive,
+        ) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("  {:16} exhaustive sweep FAILED: {e}", cfg.label());
@@ -235,7 +302,7 @@ fn main() {
                 continue;
             }
         };
-        let ranked = match sweep_config_with_mode(
+        let ranked = match sweep_layouts_with_mode(
             &mut problem,
             cfg,
             &exp.device,
@@ -265,30 +332,35 @@ fn main() {
         ranked_rows.push((
             cfg.label(),
             ranked.winner.local_size,
+            ranked.winner.layout.tag(),
             ranked.winner.duration_us,
         ));
         eprintln!(
-            "  {:16} launches {:3} -> {:2} ({:4.1}% avoided), winner {:4} vs {:4} \
+            "  {:16} launches {:3} -> {:2} ({:4.1}% avoided), winner {:4} {} vs {:4} {} \
              (|Δ| = {:.4}%) -> {}",
             cfg.label(),
             full.sweep_launches,
             ranked.sweep_launches,
             avoided * 100.0,
             full.winner.local_size,
+            full.winner.layout.tag(),
             ranked.winner.local_size,
+            ranked.winner.layout.tag(),
             rel * 100.0,
             if ok { "ok" } else { "FAIL" }
         );
         md.push_str(&format!(
-            "| {} | {} | {} | {} | {:.1}% | {} ({:.1} µs) | {} ({:.1} µs) | {:.4}% | {} |\n",
+            "| {} | {} | {} | {} | {:.1}% | {} {} ({:.1} µs) | {} {} ({:.1} µs) | {:.4}% | {} |\n",
             cfg.label(),
             full.candidates.len(),
             full.sweep_launches,
             ranked.sweep_launches,
             avoided * 100.0,
             full.winner.local_size,
+            full.winner.layout.tag(),
             full.winner.duration_us,
             ranked.winner.local_size,
+            ranked.winner.layout.tag(),
             ranked.winner.duration_us,
             rel * 100.0,
             if ok { "ok" } else { "FAIL: winner drifted" }
@@ -317,9 +389,9 @@ fn main() {
     // The L = 16 run is the committed baseline for `perfdiff --ranked`.
     if l == 16 && !ranked_rows.is_empty() {
         let mut csv = milc_bench::provenance::header_comment(&exp.device);
-        csv.push_str("kernel,local_size,duration_us\n");
-        for (kernel, ls, us) in &ranked_rows {
-            csv.push_str(&format!("{kernel},{ls},{us:.3}\n"));
+        csv.push_str("kernel,local_size,layout,duration_us\n");
+        for (kernel, ls, layout, us) in &ranked_rows {
+            csv.push_str(&format!("{kernel},{ls},{layout},{us:.3}\n"));
         }
         std::fs::create_dir_all("results").expect("create results dir");
         std::fs::write("results/tune_ranked.csv", &csv).expect("write results/tune_ranked.csv");
@@ -340,13 +412,17 @@ fn main() {
                     .iter()
                     .find(|d| d.entry.key.kernel == "3LP-1 k-major")
                     .expect("3LP-1 k-major is a Table I configuration");
-                let rel = (winner.entry.duration_us - best_us).abs() / best_us;
+                // One-sided: fig6.csv sweeps the flat layout only, so a
+                // remedy-layout winner may legitimately beat its best
+                // point — but the tuner must never be > 1% slower.
+                let rel = (winner.entry.duration_us - best_us) / best_us;
                 let ok = rel <= 0.01;
                 failed |= !ok;
                 eprintln!(
-                    "fig6 cross-check: tuner {} @ {:.1} µs vs fig6 {} @ {:.1} µs \
-                     (|Δ| = {:.3}%) -> {}",
+                    "fig6 cross-check: tuner {} {} @ {:.1} µs vs fig6 (flat) {} @ {:.1} µs \
+                     (Δ = {:+.3}%) -> {}",
                     winner.entry.local_size,
+                    winner.entry.layout,
                     winner.entry.duration_us,
                     best_ls,
                     best_us,
@@ -355,14 +431,15 @@ fn main() {
                 );
                 md.push_str(&format!(
                     "\n## Fig. 6 cross-check (3LP-1 k-major)\n\n\
-                     Tuner winner {} @ {:.1} µs; best `fig6.csv` row {} @ {:.1} µs; \
-                     deviation {:.3}% — **{}**.\n",
+                     Tuner winner {} {} @ {:.1} µs; best `fig6.csv` (flat-layout) row {} \
+                     @ {:.1} µs; deviation {:+.3}% — **{}**.\n",
                     winner.entry.local_size,
+                    winner.entry.layout,
                     winner.entry.duration_us,
                     best_ls,
                     best_us,
                     rel * 100.0,
-                    if ok { "within 1%" } else { "FAIL" }
+                    if ok { "no slower than 1%" } else { "FAIL" }
                 ));
             }
             None => {

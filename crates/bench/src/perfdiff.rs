@@ -139,35 +139,45 @@ pub struct RankedBaselineRow {
     pub kernel: String,
     /// The winning local size the ranked sweep timed.
     pub local_size: u32,
+    /// The winning shared-memory layout tag (`SharedLayout::tag()`).
+    pub layout: String,
     /// Its measured duration, µs.
     pub duration_us: f64,
 }
 
 /// Parse a committed `results/tune_ranked.csv` (provenance `#` comment
-/// lines, then header `kernel,local_size,duration_us`).
+/// lines, then header `kernel,local_size,layout,duration_us`).
 pub fn parse_ranked_baseline(csv: &str) -> Result<Vec<RankedBaselineRow>, String> {
     let mut lines = csv
         .lines()
         .filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
     let header = lines.next().ok_or("empty tune_ranked csv")?;
-    if header != "kernel,local_size,duration_us" {
+    if header != "kernel,local_size,layout,duration_us" {
         return Err(format!("tune_ranked csv has unexpected header {header:?}"));
     }
     let mut out = Vec::new();
     for (i, line) in lines.enumerate() {
         let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 3 {
-            return Err(format!("tune_ranked csv row {}: want 3 columns", i + 2));
+        if f.len() != 4 {
+            return Err(format!("tune_ranked csv row {}: want 4 columns", i + 2));
         }
         let local_size: u32 = f[1]
             .parse()
             .map_err(|_| format!("tune_ranked csv row {}: bad local size {:?}", i + 2, f[1]))?;
-        let duration_us: f64 = f[2]
+        if milc_dslash::SharedLayout::from_tag(f[2]).is_none() {
+            return Err(format!(
+                "tune_ranked csv row {}: unknown layout tag {:?}",
+                i + 2,
+                f[2]
+            ));
+        }
+        let duration_us: f64 = f[3]
             .parse()
-            .map_err(|_| format!("tune_ranked csv row {}: bad duration {:?}", i + 2, f[2]))?;
+            .map_err(|_| format!("tune_ranked csv row {}: bad duration {:?}", i + 2, f[3]))?;
         out.push(RankedBaselineRow {
             kernel: f[0].to_string(),
             local_size,
+            layout: f[2].to_string(),
             duration_us,
         });
     }
@@ -376,17 +386,25 @@ mod tests {
     #[test]
     fn parses_the_committed_tune_ranked_format() {
         let csv = "# command: cargo run -p milc-bench --release --bin tune\n\
-                   kernel,local_size,duration_us\n\
-                   3LP-1 k-major,96,875.123\n\
-                   4LP-2 i-major,192,1412.900\n";
+                   kernel,local_size,layout,duration_us\n\
+                   3LP-1 k-major,96,xor2,875.123\n\
+                   4LP-2 i-major,192,flat,1412.900\n";
         let base = parse_ranked_baseline(csv).unwrap();
         assert_eq!(base.len(), 2);
         assert_eq!(base[0].kernel, "3LP-1 k-major");
         assert_eq!(base[0].local_size, 96);
+        assert_eq!(base[0].layout, "xor2");
         assert!((base[1].duration_us - 1412.9).abs() < 1e-9);
         assert!(parse_ranked_baseline("# only comments\n").is_err());
-        assert!(parse_ranked_baseline("kernel,local_size,duration_us\n").is_err());
-        assert!(parse_ranked_baseline("kernel,local_size,duration_us\n1LP,xyz,1.0\n").is_err());
+        assert!(parse_ranked_baseline("kernel,local_size,layout,duration_us\n").is_err());
+        assert!(
+            parse_ranked_baseline("kernel,local_size,layout,duration_us\n1LP,xyz,flat,1.0\n")
+                .is_err()
+        );
+        assert!(
+            parse_ranked_baseline("kernel,local_size,layout,duration_us\n1LP,32,zigzag,1.0\n")
+                .is_err()
+        );
     }
 
     #[test]

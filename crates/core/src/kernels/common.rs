@@ -1,11 +1,141 @@
 //! Shared device-side pieces of all Dslash kernels: buffer addressing,
-//! complex loads through the [`Lane`] API, index-style handling and the
-//! register-spill model.
+//! complex loads through the [`Lane`] API, the work-group local-memory
+//! layout, index-style handling and the register-spill model.
 
 use gpu_sim::Lane;
 use milc_complex::ComplexField;
 use milc_lattice::recon::{decode, Recon};
 use milc_lattice::DeviceLayout;
+
+/// Bytes of one local `double_complex` element (two f64).
+pub const LOCAL_ELEM_BYTES: u32 = 16;
+
+/// How a kernel maps a work-group-local `double_complex` element index
+/// to a byte offset in local memory.
+///
+/// The paper's reduction kernels store partial sums densely
+/// (element `e` at byte `16·e`), which is exactly the 16-byte-stride
+/// pattern the bank model charges as a 4-way conflict: each 4-byte
+/// phase of a warp access lands on only 8 of the 32 banks.  The two
+/// classic remedies — both QUDA staples, and both named by the CUDA
+/// guide ("use swizzling or padding") — are expressible here:
+///
+/// * [`SharedLayout::Padded`] inserts spare words between elements
+///   (the `smem[32][33]` trick at word granularity): with a stride of
+///   5 words per element, `gcd(5, 32) = 1` spreads every warp phase
+///   over all 32 banks at the cost of 25% more local memory.
+/// * [`SharedLayout::Swizzled`] XORs the element's sub-chunk group
+///   index into its word offset inside 32-element chunks.  A plain
+///   in-place XOR of a dense 16-byte layout cannot be conflict-free
+///   (contiguous 16-byte blocks tiling an interval can only start on
+///   8 bank residues), so each 32-element chunk carries one spare
+///   element-slot of pad: ~3% more local memory for the same
+///   conflict-free banks as padding.
+///
+/// Every mapping is monotonic and injective on the element range, and
+/// — because the analyzer's residue period is always a multiple of the
+/// warp size — stays *affine* in the residue-block index, so the
+/// static footprint fitter resolves swizzled addresses exactly (no
+/// dynamic fallback) and the affine-mod-bank normal form can prove the
+/// conflict count symbolically.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SharedLayout {
+    /// Dense: element `e` at byte `16·e` (the paper's layout).
+    Flat,
+    /// Element `e` at byte `4·stride_elems·e`: `stride_elems` is the
+    /// element stride in 4-byte bank words (≥ 4; 4 would be dense).
+    Padded {
+        /// Words between consecutive elements' starts (5 = one pad word).
+        stride_elems: u32,
+    },
+    /// XOR-swizzle inside 32-element chunks: element `e = 32c + r` at
+    /// `chunk_stride·c + (16·r ⊕ 4·g)` where `g` is the *top*
+    /// `xor_bits` bits of the 2-bit sub-chunk group index `r >> 3`
+    /// (clamped to the 2 group bits a chunk has) and
+    /// `chunk_stride = 512 + 4·2^xor_bits`.  Taking the top bits keeps
+    /// the perturbation monotone in `r`, which is what makes the
+    /// mapping injective — perturbing by the *low* group bit collapses
+    /// back to 0 mid-chunk and aliases (see the `AliasingSwizzle`
+    /// defect fixture for the unpadded variant of that bug).
+    Swizzled {
+        /// How many group bits participate in the swizzle (0 = flat,
+        /// 1 = half the conflicts, 2 = conflict-free).
+        xor_bits: u32,
+    },
+}
+
+impl SharedLayout {
+    /// The layouts the autotuner sweeps: the paper's dense layout plus
+    /// the canonical padded (one spare word) and fully swizzled forms.
+    pub const TUNABLE: [SharedLayout; 3] = [
+        SharedLayout::Flat,
+        SharedLayout::Padded { stride_elems: 5 },
+        SharedLayout::Swizzled { xor_bits: 2 },
+    ];
+
+    /// Byte offset of local element `e` under this layout.
+    #[inline]
+    pub fn offset(self, e: u32) -> u32 {
+        match self {
+            SharedLayout::Flat => e * LOCAL_ELEM_BYTES,
+            SharedLayout::Padded { stride_elems } => 4 * stride_elems.max(4) * e,
+            SharedLayout::Swizzled { xor_bits } => {
+                // Only bits 3..5 of an element index vary within a
+                // 32-element chunk, so at most 2 bits participate.
+                let bits = xor_bits.min(2);
+                if bits == 0 {
+                    return e * LOCAL_ELEM_BYTES;
+                }
+                let chunk_stride = 512 + 4 * (1 << bits);
+                let r = e & 31;
+                // XOR the top `bits` of the group index into the (zero)
+                // low word bits.  The top bits keep the perturbation
+                // monotone in `r` — injectivity; the low bit alone
+                // would drop back to 0 mid-chunk and alias.
+                chunk_stride * (e >> 5) + ((16 * r) ^ (4 * ((r >> 3) >> (2 - bits))))
+            }
+        }
+    }
+
+    /// Local-memory bytes a group of `elems` elements needs.  Every
+    /// layout is monotonic, so the last element's end is the extent.
+    #[inline]
+    pub fn required_bytes(self, elems: u32) -> u32 {
+        if elems == 0 {
+            return 0;
+        }
+        self.offset(elems - 1) + LOCAL_ELEM_BYTES
+    }
+
+    /// Short tag for labels, cache keys and report columns.
+    pub fn tag(self) -> String {
+        match self {
+            SharedLayout::Flat => "flat".to_string(),
+            SharedLayout::Padded { stride_elems } => format!("pad{stride_elems}"),
+            SharedLayout::Swizzled { xor_bits } => format!("xor{xor_bits}"),
+        }
+    }
+
+    /// Parse a [`Self::tag`] back (tune-cache round trip).
+    pub fn from_tag(tag: &str) -> Option<SharedLayout> {
+        if tag == "flat" {
+            return Some(SharedLayout::Flat);
+        }
+        if let Some(n) = tag.strip_prefix("pad") {
+            return n
+                .parse()
+                .ok()
+                .map(|stride_elems| SharedLayout::Padded { stride_elems });
+        }
+        if let Some(n) = tag.strip_prefix("xor") {
+            return n
+                .parse()
+                .ok()
+                .map(|xor_bits| SharedLayout::Swizzled { xor_bits });
+        }
+        None
+    }
+}
 
 /// Device addresses of every buffer a Dslash kernel touches.
 ///
@@ -368,6 +498,86 @@ mod tests {
         let n = 64;
         let d = (scatter_block(1, n) as i64 - scatter_block(0, n) as i64).unsigned_abs();
         assert!(d >= 4, "blocks too close: {d}");
+    }
+
+    #[test]
+    fn shared_layouts_are_injective_and_monotonic() {
+        let half = SharedLayout::Swizzled { xor_bits: 1 };
+        for layout in SharedLayout::TUNABLE.into_iter().chain([half]) {
+            let mut prev_end = 0u32;
+            for e in 0..1024u32 {
+                let off = layout.offset(e);
+                assert!(
+                    off >= prev_end,
+                    "{} element {e} at {off} overlaps previous end {prev_end}",
+                    layout.tag()
+                );
+                prev_end = off + LOCAL_ELEM_BYTES;
+            }
+            assert_eq!(layout.required_bytes(1024), prev_end);
+            assert_eq!(layout.required_bytes(0), 0);
+        }
+    }
+
+    #[test]
+    fn swizzled_warp_phases_are_conflict_free() {
+        // Every 4-byte phase of a 32-element warp access must land on
+        // 32 distinct banks under the full swizzle (and under pad5).
+        for layout in [
+            SharedLayout::Swizzled { xor_bits: 2 },
+            SharedLayout::Padded { stride_elems: 5 },
+        ] {
+            for base in [0u32, 32, 64, 96] {
+                for phase in 0..4u32 {
+                    let mut banks = std::collections::HashSet::new();
+                    for lane in 0..32u32 {
+                        let word = layout.offset(base + lane) / 4 + phase;
+                        assert!(
+                            banks.insert(word % 32),
+                            "{} phase {phase} collides at lane {lane}",
+                            layout.tag()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_swizzle_halves_the_conflict() {
+        // xor1 spreads each phase over 16 banks with exactly 2 words
+        // apiece: a 2-way conflict, half of flat's 4-way.
+        let layout = SharedLayout::Swizzled { xor_bits: 1 };
+        for phase in 0..4u32 {
+            let mut per_bank = std::collections::HashMap::new();
+            for lane in 0..32u32 {
+                let word = layout.offset(lane) / 4 + phase;
+                *per_bank.entry(word % 32).or_insert(0u32) += 1;
+            }
+            assert_eq!(per_bank.len(), 16, "phase {phase}");
+            assert!(per_bank.values().all(|&c| c == 2), "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn degenerate_layouts_collapse_to_flat() {
+        for e in 0..256u32 {
+            assert_eq!(SharedLayout::Swizzled { xor_bits: 0 }.offset(e), e * 16);
+            assert_eq!(SharedLayout::Flat.offset(e), e * 16);
+        }
+    }
+
+    #[test]
+    fn layout_tags_round_trip() {
+        for layout in [
+            SharedLayout::Flat,
+            SharedLayout::Padded { stride_elems: 5 },
+            SharedLayout::Swizzled { xor_bits: 1 },
+            SharedLayout::Swizzled { xor_bits: 2 },
+        ] {
+            assert_eq!(SharedLayout::from_tag(&layout.tag()), Some(layout));
+        }
+        assert_eq!(SharedLayout::from_tag("nope"), None);
     }
 
     #[test]

@@ -17,14 +17,21 @@
 //!   the arena's last allocation (**memcheck**: the class of bug the
 //!   composed MILC index expressions invite);
 //! * [`UninitCRead`] — accumulates into `C` without the host having
-//!   zeroed it first, i.e. a missing `zero_output()` (**uninit**).
+//!   zeroed it first, i.e. a missing `zero_output()` (**uninit**);
+//! * [`AliasingSwizzle`] — a hand-rolled local-memory swizzle that XORs
+//!   the group bits *in place* without chunk padding: the mapping is
+//!   not injective (element 31's 16-byte block overlaps element 32's),
+//!   so two lanes write the same local bytes in one phase (**race**,
+//!   the bug [`SharedLayout::Swizzled`]'s chunk pad exists to prevent,
+//!   and one both the dynamic racecheck and the static local-race
+//!   proof must flag).
 //!
 //! The fixtures still declare lane lockstep correctly (`set_path`), so
 //! the only findings they produce are the ones they are built to
 //! produce; tests can assert *exactly one* classified finding under a
 //! single-check [`SanitizerConfig`](gpu_sim::SanitizerConfig).
 
-use super::common::DevTables;
+use super::common::{DevTables, SharedLayout};
 use crate::problem::MAX_SPILLS;
 use gpu_sim::{Kernel, KernelResources, Lane};
 use milc_lattice::{NDIM, NROW};
@@ -38,12 +45,20 @@ const DEFECT_REGISTERS: u32 = 32;
 /// writers and the reader.
 pub struct BrokenBarrierThreeLp1 {
     t: DevTables,
+    layout: SharedLayout,
 }
 
 impl BrokenBarrierThreeLp1 {
-    /// Build over the problem's device tables.
+    /// Build over the problem's device tables (flat local layout).
     pub fn new(t: DevTables) -> Self {
-        Self { t }
+        Self::with_layout(t, SharedLayout::Flat)
+    }
+
+    /// Build with an explicit local layout: the race is layout-blind
+    /// (every layout is injective, so the reader/writer overlap — not
+    /// an address collision — is what both checkers must see).
+    pub fn with_layout(t: DevTables, layout: SharedLayout) -> Self {
+        Self { t, layout }
     }
 }
 
@@ -57,7 +72,7 @@ impl Kernel for BrokenBarrierThreeLp1 {
     fn resources(&self, local_size: u32) -> KernelResources {
         KernelResources {
             registers_per_item: DEFECT_REGISTERS,
-            local_mem_bytes_per_group: local_size * 16,
+            local_mem_bytes_per_group: self.layout.required_bytes(local_size),
         }
     }
 
@@ -77,15 +92,15 @@ impl Kernel for BrokenBarrierThreeLp1 {
         }
         let lid = lane.local_id();
         // The "partial" (its value is irrelevant to the race).
-        lane.st_local_c64(lid * 16, (gid % 7) as f64, 0.0);
+        lane.st_local_c64(self.layout.offset(lid), (gid % 7) as f64, 0.0);
         // ... and, with no barrier in between, the collapse:
         if k == 0 {
             lane.set_path(1);
-            let (re0, im0) = lane.ld_local_c64(lid * 16);
+            let (re0, im0) = lane.ld_local_c64(self.layout.offset(lid));
             let mut re = re0;
             let mut im = im0;
             for kk in 1..4u32 {
-                let (r, m) = lane.ld_local_c64((lid + 3 * kk) * 16);
+                let (r, m) = lane.ld_local_c64(self.layout.offset(lid + 3 * kk));
                 re += r;
                 im += m;
                 lane.flops(2);
@@ -94,6 +109,58 @@ impl Kernel for BrokenBarrierThreeLp1 {
         } else {
             lane.set_path(2);
         }
+    }
+}
+
+/// The swizzle bug the chunk pad prevents: XOR the sub-chunk group bits
+/// straight into the dense 16-byte layout.  `off(e) = 16e ^ ((e>>3 & 3)
+/// << 2)` is *not* injective — element 31 maps to bytes `[508, 524)`
+/// and element 32 to `[512, 528)` — so adjacent chunks' boundary lanes
+/// write overlapping local bytes in the same phase.
+pub struct AliasingSwizzle {
+    t: DevTables,
+}
+
+impl AliasingSwizzle {
+    /// Build over the problem's device tables.
+    pub fn new(t: DevTables) -> Self {
+        Self { t }
+    }
+
+    /// The broken mapping (kept separate so tests can cite it).
+    pub fn aliasing_offset(e: u32) -> u32 {
+        (e * 16) ^ (((e >> 3) & 3) << 2)
+    }
+}
+
+impl Kernel for AliasingSwizzle {
+    fn name(&self) -> &str {
+        "defect/aliasing-swizzle"
+    }
+
+    // One phase: the overlap needs no missing barrier, only two lanes
+    // whose blocks intersect.
+
+    fn resources(&self, local_size: u32) -> KernelResources {
+        KernelResources {
+            registers_per_item: DEFECT_REGISTERS,
+            // The XOR perturbs at most +12 bytes past the dense extent.
+            local_mem_bytes_per_group: local_size * 16 + 16,
+        }
+    }
+
+    fn local_size_multiple(&self) -> u32 {
+        (NROW * NDIM) as u32
+    }
+
+    fn run_phase(&self, _phase: usize, lane: &mut Lane<'_>) {
+        let gid = lane.global_id();
+        if gid / 12 >= self.t.half_volume {
+            return;
+        }
+        lane.iops(2);
+        let lid = lane.local_id();
+        lane.st_local_c64(Self::aliasing_offset(lid), (gid % 5) as f64, 1.0);
     }
 }
 

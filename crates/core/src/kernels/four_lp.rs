@@ -18,6 +18,7 @@
 
 use super::common::{
     effective_gid, link_sign, load_b_vec, row_term, spill_load, spill_store, DevTables,
+    SharedLayout,
 };
 use super::{decomp4, four_lp_strides};
 use crate::strategy::{IndexStyle, KernelConfig, Strategy};
@@ -61,7 +62,7 @@ impl<C: ComplexField> Kernel for FourLpKernel<C> {
     fn resources(&self, local_size: u32) -> KernelResources {
         KernelResources {
             registers_per_item: self.cfg.registers_per_item() + C::EXTRA_REGISTERS,
-            local_mem_bytes_per_group: local_size * 16,
+            local_mem_bytes_per_group: self.cfg.shared_layout.required_bytes(local_size),
         }
     }
 
@@ -79,6 +80,7 @@ impl<C: ComplexField> Kernel for FourLpKernel<C> {
             return;
         }
         let lid = lane.local_id();
+        let layout: SharedLayout = self.cfg.shared_layout;
         let (l_stride, k_stride) = four_lp_strides(self.cfg.strategy, self.cfg.order);
 
         match phase {
@@ -93,7 +95,7 @@ impl<C: ComplexField> Kernel for FourLpKernel<C> {
                 let src = lane.ld_global_u32(t.nbr_addr(l as usize, s, k)) as u64;
                 let bv = load_b_vec::<C>(lane, t, src);
                 let term = row_term(lane, t, l as usize, s, k, i, &bv, sign, C::zero());
-                lane.st_local_c64(lid * 16, term.re(), term.im());
+                lane.st_local_c64(layout.offset(lid), term.re(), term.im());
                 lane.set_path(0);
                 spill_load(lane, t, self.cfg.spills_per_item);
             }
@@ -101,14 +103,14 @@ impl<C: ComplexField> Kernel for FourLpKernel<C> {
                 // First barrier has fired: collapse the l-partials.
                 if l == 0 {
                     lane.set_path(1);
-                    let (re0, im0) = lane.ld_local_c64(lid * 16);
+                    let (re0, im0) = lane.ld_local_c64(layout.offset(lid));
                     let mut sum = C::new(re0, im0);
                     for ll in 1..4u32 {
-                        let (re, im) = lane.ld_local_c64((lid + l_stride * ll) * 16);
+                        let (re, im) = lane.ld_local_c64(layout.offset(lid + l_stride * ll));
                         sum += C::new(re, im);
                         lane.flops(2);
                     }
-                    lane.st_local_c64(lid * 16, sum.re(), sum.im());
+                    lane.st_local_c64(layout.offset(lid), sum.re(), sum.im());
                 } else {
                     lane.set_path(2);
                 }
@@ -117,10 +119,10 @@ impl<C: ComplexField> Kernel for FourLpKernel<C> {
                 // Second barrier: collapse the k-partials and write C.
                 if l == 0 && k == 0 {
                     lane.set_path(1);
-                    let (re0, im0) = lane.ld_local_c64(lid * 16);
+                    let (re0, im0) = lane.ld_local_c64(layout.offset(lid));
                     let mut sum = C::new(re0, im0);
                     for kk in 1..4u32 {
-                        let (re, im) = lane.ld_local_c64((lid + k_stride * kk) * 16);
+                        let (re, im) = lane.ld_local_c64(layout.offset(lid + k_stride * kk));
                         sum += C::new(re, im);
                         lane.flops(2);
                     }

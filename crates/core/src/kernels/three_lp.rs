@@ -14,6 +14,7 @@
 
 use super::common::{
     effective_gid, link_sign, load_b_vec, row_term, spill_load, spill_store, DevTables,
+    SharedLayout,
 };
 use super::decomp3;
 use crate::strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
@@ -81,7 +82,7 @@ impl<C: ComplexField> Kernel for ThreeLpKernel<C> {
         KernelResources {
             registers_per_item: self.cfg.registers_per_item() + C::EXTRA_REGISTERS,
             local_mem_bytes_per_group: if self.cfg.strategy.uses_local_mem() {
-                local_size * 16
+                self.cfg.shared_layout.required_bytes(local_size)
             } else {
                 0
             },
@@ -102,6 +103,7 @@ impl<C: ComplexField> Kernel for ThreeLpKernel<C> {
             return;
         }
         let lid = lane.local_id();
+        let layout: SharedLayout = self.cfg.shared_layout;
 
         match self.cfg.strategy {
             Strategy::ThreeLp1 => {
@@ -110,17 +112,17 @@ impl<C: ComplexField> Kernel for ThreeLpKernel<C> {
                     spill_store(lane, t, self.cfg.spills_per_item);
                     let acc = self.partial(lane, s, i, k);
                     spill_load(lane, t, self.cfg.spills_per_item);
-                    lane.st_local_c64(lid * 16, acc.re(), acc.im());
+                    lane.st_local_c64(layout.offset(lid), acc.re(), acc.im());
                 } else {
                     // After group_barrier: the k == 0 item of each (s, i)
                     // collapses the four partials and writes C(i, s).
                     if k == 0 {
                         lane.set_path(1);
                         let stride = self.k_stride();
-                        let (re0, im0) = lane.ld_local_c64(lid * 16);
+                        let (re0, im0) = lane.ld_local_c64(layout.offset(lid));
                         let mut sum = C::new(re0, im0);
                         for kk in 1..4u32 {
-                            let (re, im) = lane.ld_local_c64((lid + stride * kk) * 16);
+                            let (re, im) = lane.ld_local_c64(layout.offset(lid + stride * kk));
                             sum += C::new(re, im);
                             lane.flops(2);
                         }
@@ -136,7 +138,7 @@ impl<C: ComplexField> Kernel for ThreeLpKernel<C> {
                     spill_store(lane, t, self.cfg.spills_per_item);
                     let acc = self.partial(lane, s, i, k);
                     spill_load(lane, t, self.cfg.spills_per_item);
-                    lane.st_local_c64(lid * 16, acc.re(), acc.im());
+                    lane.st_local_c64(layout.offset(lid), acc.re(), acc.im());
                     // if (k == 0) initialize C(i, s)   [before the barrier]
                     if k == 0 {
                         lane.set_path(1);
@@ -147,7 +149,7 @@ impl<C: ComplexField> Kernel for ThreeLpKernel<C> {
                 } else {
                     // atomic_ref<double, relaxed, work_group, global>
                     // c_atomic(C(i,s)); c_atomic += c[local_id];
-                    let (re, im) = lane.ld_local_c64(lid * 16);
+                    let (re, im) = lane.ld_local_c64(layout.offset(lid));
                     lane.atomic_add_global_f64(t.c_addr(cb, i), re);
                     lane.atomic_add_global_f64(t.c_addr(cb, i) + 8, im);
                     lane.flops(2);

@@ -36,7 +36,10 @@ pub mod tune;
 pub mod validate;
 
 pub use flops::theoretical_flops;
-pub use kernels::defects::{BrokenBarrierThreeLp1, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead};
+pub use kernels::common::SharedLayout;
+pub use kernels::defects::{
+    AliasingSwizzle, BrokenBarrierThreeLp1, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead,
+};
 pub use obs::prof::{Bottleneck, CriticalPath, DriftReport, DriftRow, RooflineRow};
 pub use obs::{Metrics, Trace, Tracer};
 pub use operator::{recommended_config, SimulatedDslash};

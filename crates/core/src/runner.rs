@@ -5,6 +5,7 @@
 //! submit-to-completion loop with `clock_gettime`).
 
 use crate::flops::theoretical_flops;
+use crate::kernels::common::SharedLayout;
 use crate::obs;
 use crate::problem::DslashProblem;
 use crate::strategy::KernelConfig;
@@ -202,16 +203,29 @@ pub fn run_config_warm_on_state<C: ComplexField>(
     })
 }
 
-/// A [`RunOutcome`] whose local size came from the autotuner rather
-/// than the caller.
+/// A [`RunOutcome`] whose launch parameters came from the autotuner
+/// rather than the caller.
 #[derive(Clone, Debug)]
 pub struct TunedRunOutcome {
-    /// The run at the tuned local size.
+    /// The run at the tuned local size and layout.
     pub outcome: RunOutcome,
     /// The local size the tuner selected.
     pub local_size: u32,
+    /// The local-memory layout the tuner selected.
+    pub layout: SharedLayout,
     /// Whether the tuning decision was a cache hit (no sweep launches).
     pub from_cache: bool,
+}
+
+/// The configuration a tune decision asks the runner to launch: the
+/// caller's config with the cached winner's layout applied.  An entry
+/// whose layout tag fails to parse (hand-edited cache; the strict
+/// loader normally rejects it) falls back to the caller's layout.
+fn apply_tuned_layout(cfg: KernelConfig, tag: &str) -> KernelConfig {
+    match SharedLayout::from_tag(tag) {
+        Some(layout) => cfg.with_layout(layout),
+        None => cfg,
+    }
 }
 
 /// Errors from a tuned run: the tuner can fail before any run happens,
@@ -247,11 +261,19 @@ pub fn run_config_tuned<C: ComplexField>(
     let decision = tuner
         .tune(problem, cfg, device, queue_mode)
         .map_err(TunedRunError::Tune)?;
-    let outcome = run_config(problem, cfg, decision.entry.local_size, device, queue_mode)
-        .map_err(TunedRunError::Sim)?;
+    let tuned = apply_tuned_layout(cfg, &decision.entry.layout);
+    let outcome = run_config(
+        problem,
+        tuned,
+        decision.entry.local_size,
+        device,
+        queue_mode,
+    )
+    .map_err(TunedRunError::Sim)?;
     Ok(TunedRunOutcome {
         outcome,
         local_size: decision.entry.local_size,
+        layout: tuned.shared_layout,
         from_cache: decision.from_cache,
     })
 }
@@ -270,11 +292,19 @@ pub fn run_config_warm_tuned<C: ComplexField>(
     let decision = tuner
         .tune(problem, cfg, device, queue_mode)
         .map_err(TunedRunError::Tune)?;
-    let outcome = run_config_warm(problem, cfg, decision.entry.local_size, device, queue_mode)
-        .map_err(TunedRunError::Sim)?;
+    let tuned = apply_tuned_layout(cfg, &decision.entry.layout);
+    let outcome = run_config_warm(
+        problem,
+        tuned,
+        decision.entry.local_size,
+        device,
+        queue_mode,
+    )
+    .map_err(TunedRunError::Sim)?;
     Ok(TunedRunOutcome {
         outcome,
         local_size: decision.entry.local_size,
+        layout: tuned.shared_layout,
         from_cache: decision.from_cache,
     })
 }
@@ -400,6 +430,11 @@ mod tests {
             .lookup(&Tuner::key_for(&p, cfg, &device))
             .unwrap();
         assert_eq!(cached.local_size, cold.local_size);
+        assert_eq!(cached.layout, cold.layout.tag());
+        // Reproducing the sweep's winning duration requires the runner
+        // to re-apply the winning *layout*, not just the local size —
+        // on 3LP-1 the winner is a conflict-free remedy, not flat.
+        assert_ne!(cold.layout, crate::kernels::common::SharedLayout::Flat);
         assert_eq!(cached.duration_us, cold.outcome.report.duration_us);
 
         let warm =

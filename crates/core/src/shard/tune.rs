@@ -111,6 +111,9 @@ pub fn tune_rank_local_sizes<C: ComplexField>(
         cache.insert(TuneEntry {
             key,
             local_size,
+            // The shard tuner sweeps sizes only; the layout rides along
+            // from the caller's configuration.
+            layout: cfg.shared_layout.tag(),
             duration_us,
             gflops: flops / duration_us / 1e3,
             candidates_ok: ok,

@@ -185,6 +185,12 @@ impl<'d, C: ComplexField> DeviceNormalOperator<'d, C> {
         // One tune decision serves both parities: the key is (device,
         // dims, kernel label), and both problems share all three.
         let decision = tuner.tune(&mut oe, cfg, device, QueueMode::OutOfOrder)?;
+        // CG iterations launch at the tuned layout, not just the tuned
+        // size — the cached entry carries the winning layout's tag.
+        let cfg = match crate::kernels::common::SharedLayout::from_tag(&decision.entry.layout) {
+            Some(layout) => cfg.with_layout(layout),
+            None => cfg,
+        };
         Ok(Self {
             mass,
             cfg,

@@ -11,6 +11,7 @@
 //! by local size must be zero" (Section III-C), and the 4LP equivalent of
 //! 48 (Section III-D).
 
+use crate::kernels::common::SharedLayout;
 use milc_lattice::{NDIM, NMAT, NROW};
 
 /// The parallel strategies of Section III.
@@ -180,6 +181,9 @@ pub struct KernelConfig {
     /// studies of the occupancy/register trade-off; `None` uses
     /// [`Strategy::registers_per_item`]).
     pub registers_override: Option<u32>,
+    /// Work-group local-memory layout (meaningful only for strategies
+    /// with [`Strategy::uses_local_mem`]; a tunable dimension).
+    pub shared_layout: SharedLayout,
 }
 
 impl KernelConfig {
@@ -192,6 +196,24 @@ impl KernelConfig {
             index_style: IndexStyle::Direct,
             spills_per_item: DEFAULT_SPILLS,
             registers_override: None,
+            shared_layout: SharedLayout::Flat,
+        }
+    }
+
+    /// The same configuration under another local-memory layout.
+    pub fn with_layout(mut self, layout: SharedLayout) -> Self {
+        self.shared_layout = layout;
+        self
+    }
+
+    /// The local-memory layouts worth sweeping for this configuration:
+    /// the three tunable layouts for local-memory strategies, just
+    /// [`SharedLayout::Flat`] otherwise (layout is meaningless there).
+    pub fn tunable_layouts(&self) -> Vec<SharedLayout> {
+        if self.strategy.uses_local_mem() {
+            SharedLayout::TUNABLE.to_vec()
+        } else {
+            vec![SharedLayout::Flat]
         }
     }
 
@@ -232,11 +254,17 @@ impl KernelConfig {
             .collect()
     }
 
-    /// Label for figures: e.g. `3LP-1 k-major`.
+    /// Label for figures: e.g. `3LP-1 k-major`; non-default local
+    /// layouts are tagged (`3LP-1 k-major xor2`) so cache keys and
+    /// report rows stay distinct per layout.
     pub fn label(&self) -> String {
-        match self.strategy {
+        let base = match self.strategy {
             Strategy::OneLp | Strategy::TwoLp => self.strategy.name().to_string(),
             _ => format!("{} {}", self.strategy.name(), self.order.name()),
+        };
+        match self.shared_layout {
+            SharedLayout::Flat => base,
+            layout => format!("{base} {}", layout.tag()),
         }
     }
 }
@@ -355,6 +383,20 @@ mod tests {
             KernelConfig::new(Strategy::ThreeLp2, IndexOrder::IMajor).label(),
             "3LP-2 i-major"
         );
+        assert_eq!(
+            KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor)
+                .with_layout(SharedLayout::Swizzled { xor_bits: 2 })
+                .label(),
+            "3LP-1 k-major xor2"
+        );
+    }
+
+    #[test]
+    fn tunable_layouts_only_for_local_mem_strategies() {
+        let local = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        assert_eq!(local.tunable_layouts().len(), 3);
+        let global = KernelConfig::new(Strategy::ThreeLp3, IndexOrder::KMajor);
+        assert_eq!(global.tunable_layouts(), vec![SharedLayout::Flat]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! wholesale, degrading to a full sweep.  Loading never panics.
 
 use super::json::{self, Json};
+use crate::kernels::common::SharedLayout;
 use gpu_sim::DeviceSpec;
 use milc_lattice::Lattice;
 use std::collections::BTreeMap;
@@ -22,8 +23,9 @@ use std::path::Path;
 
 /// On-disk format version; bump on any incompatible change to the entry
 /// schema or to the meaning of the modelled durations (e.g. a timing
-/// model recalibration), so stale winners are re-swept.
-pub const TUNECACHE_VERSION: u64 = 1;
+/// model recalibration), so stale winners are re-swept.  Version 2
+/// added the tuned local-memory `layout` tag to every entry.
+pub const TUNECACHE_VERSION: u64 = 2;
 
 /// Stable FNV-1a hash of a device description.  Any field change —
 /// SM count, cache sizes, clocks — yields a different hash, so entries
@@ -86,6 +88,11 @@ pub struct TuneEntry {
     pub key: TuneKey,
     /// The winning work-group size.
     pub local_size: u32,
+    /// The winning local-memory layout's
+    /// [`tag`](crate::kernels::common::SharedLayout::tag) (`"flat"`,
+    /// `"pad5"`, `"xor2"`); always a tag [`SharedLayout::from_tag`]
+    /// accepts — the strict parser rejects anything else.
+    pub layout: String,
     /// Modelled kernel duration at the winner, µs.
     pub duration_us: f64,
     /// GFLOP/s at the winner (theoretical FLOPs over wall time, the
@@ -177,6 +184,7 @@ impl TuneCache {
                         ]),
                     ),
                     ("local_size".into(), Json::Num(f64::from(e.local_size))),
+                    ("layout".into(), Json::Str(e.layout.clone())),
                     ("duration_us".into(), Json::Num(e.duration_us)),
                     ("gflops".into(), Json::Num(e.gflops)),
                     (
@@ -252,6 +260,12 @@ impl TuneCache {
                     .and_then(Json::as_u64)
                     .filter(|&ls| ls >= 1 && ls <= u64::from(u32::MAX))
                     .ok_or(bad("bad local_size"))? as u32,
+                layout: e
+                    .get("layout")
+                    .and_then(Json::as_str)
+                    .filter(|s| SharedLayout::from_tag(s).is_some())
+                    .ok_or(bad("bad layout tag"))?
+                    .to_string(),
                 duration_us: e
                     .get("duration_us")
                     .and_then(Json::as_f64)
@@ -338,6 +352,7 @@ mod tests {
                 sanitized: false,
             },
             local_size: ls,
+            layout: "flat".into(),
             duration_us: 875.1,
             gflops: 40.3,
             candidates_ok: 4,
@@ -386,8 +401,19 @@ mod tests {
     fn version_mismatch_discards() {
         let text = TuneCache::new()
             .to_json()
-            .replace("\"version\": 1", "\"version\": 999");
+            .replace("\"version\": 2", "\"version\": 999");
         assert!(TuneCache::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn unknown_layout_tag_rejects_the_document() {
+        let mut c = TuneCache::new();
+        c.insert(entry("3LP-1 k-major", 96));
+        let text = c.to_json().replace("\"flat\"", "\"zigzag\"");
+        assert!(TuneCache::from_json(&text).is_err());
+        let roundtrip = c.to_json().replace("\"flat\"", "\"xor2\"");
+        let back = TuneCache::from_json(&roundtrip).unwrap();
+        assert_eq!(back.iter().next().unwrap().layout, "xor2");
     }
 
     #[test]

@@ -30,10 +30,11 @@ pub mod sweep;
 
 pub use cache::{device_spec_hash, LoadOutcome, TuneCache, TuneEntry, TuneKey, TUNECACHE_VERSION};
 pub use sweep::{
-    candidate_local_sizes, sweep_config, sweep_config_with_mode, CandidateOutcome, CandidatePoint,
-    Reject, SweepError, SweepMode, SweepOutcome,
+    candidate_local_sizes, sweep_config, sweep_config_with_mode, sweep_layouts_with_mode,
+    CandidateOutcome, CandidatePoint, Reject, SweepError, SweepMode, SweepOutcome,
 };
 
+use crate::kernels::common::SharedLayout;
 use crate::problem::DslashProblem;
 use crate::strategy::KernelConfig;
 use gpu_sim::{DeviceSpec, QueueMode};
@@ -164,6 +165,10 @@ impl Tuner {
     }
 
     /// The key [`tune`](Self::tune) will use for a problem/config pair.
+    /// The local-memory layout is *not* part of the key: the tuner owns
+    /// that dimension (it sweeps layouts alongside local sizes and
+    /// records the winning layout in the entry), so the key is the
+    /// configuration's base (flat-layout) label.
     pub fn key_for<C: ComplexField>(
         problem: &DslashProblem<C>,
         cfg: KernelConfig,
@@ -172,12 +177,14 @@ impl Tuner {
         // Unsanitized: the tuner times real launches (sanitized runs
         // execute in a different mode and are keyed separately if ever
         // cached).
-        TuneKey::new(device, problem.lattice(), &cfg.label(), false)
+        let base = cfg.with_layout(SharedLayout::Flat);
+        TuneKey::new(device, problem.lattice(), &base.label(), false)
     }
 
     /// Tune one configuration: return the cached winner if the key
-    /// hits, otherwise sweep all candidates exhaustively, record the
-    /// winner, and return it.  On a hit no launch is performed at all.
+    /// hits, otherwise sweep all (local size × layout) candidates
+    /// exhaustively, record the winner, and return it.  On a hit no
+    /// launch is performed at all.
     pub fn tune<C: ComplexField>(
         &mut self,
         problem: &mut DslashProblem<C>,
@@ -213,10 +220,11 @@ impl Tuner {
         }
         self.misses += 1;
         crate::obs::metric_inc("tune_cache_misses_total", &[("config", &cfg.label())], 1);
-        let sweep = sweep_config_with_mode(problem, cfg, device, queue_mode, mode)?;
+        let sweep = sweep_layouts_with_mode(problem, cfg, device, queue_mode, mode)?;
         let entry = TuneEntry {
             key,
             local_size: sweep.winner.local_size,
+            layout: sweep.winner.layout.tag(),
             duration_us: sweep.winner.duration_us,
             gflops: sweep.winner.gflops,
             candidates_ok: sweep.timed().count() as u32,
@@ -326,6 +334,26 @@ mod tests {
             .unwrap();
         assert!(!d.from_cache, "corrupt cache must fall back to a sweep");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tuned_entry_records_the_winning_layout() {
+        let device = DeviceSpec::test_small();
+        let mut p = DslashProblem::<Z>::random(4, 12);
+        let mut t = Tuner::in_memory();
+        let d = t
+            .tune(&mut p, cfg3lp1(), &device, QueueMode::InOrder)
+            .unwrap();
+        // 3LP-1's dense layout bank-conflicts; the tuner must pick (and
+        // record) a conflict-free remedy the runner can re-apply.
+        let layout = SharedLayout::from_tag(&d.entry.layout).expect("entry layout tag parses");
+        assert_ne!(layout, SharedLayout::Flat, "tag: {}", d.entry.layout);
+        // The cache key is layout-blind: asking again with the winning
+        // layout pinned in the config must *hit* the same entry.
+        let pinned = cfg3lp1().with_layout(layout);
+        let warm = t.tune(&mut p, pinned, &device, QueueMode::InOrder).unwrap();
+        assert!(warm.from_cache);
+        assert_eq!(warm.entry, d.entry);
     }
 
     #[test]

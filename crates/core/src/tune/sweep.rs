@@ -16,6 +16,7 @@
 //! sweep in which *no* candidate survives is an error, not a fabricated
 //! winner.
 
+use crate::kernels::common::SharedLayout;
 use crate::obs;
 use crate::problem::DslashProblem;
 use crate::runner::{run_config_warm, run_config_warm_on_state};
@@ -90,6 +91,8 @@ impl std::fmt::Display for Reject {
 pub struct CandidatePoint {
     /// Local size tried.
     pub local_size: u32,
+    /// Local-memory layout tried.
+    pub layout: SharedLayout,
     /// Modelled kernel duration, µs.
     pub duration_us: f64,
     /// GFLOP/s the way the paper computes it (wall time incl. queue
@@ -112,6 +115,8 @@ pub enum CandidateOutcome {
     Rejected {
         /// Local size that was rejected.
         local_size: u32,
+        /// Local-memory layout that was rejected.
+        layout: SharedLayout,
         /// Why.
         reason: Reject,
     },
@@ -123,6 +128,14 @@ impl CandidateOutcome {
         match self {
             CandidateOutcome::Timed(p) => p.local_size,
             CandidateOutcome::Rejected { local_size, .. } => *local_size,
+        }
+    }
+
+    /// The candidate's local-memory layout regardless of fate.
+    pub fn layout(&self) -> SharedLayout {
+        match self {
+            CandidateOutcome::Timed(p) => p.layout,
+            CandidateOutcome::Rejected { layout, .. } => *layout,
         }
     }
 }
@@ -191,11 +204,16 @@ impl std::fmt::Display for SweepError {
                     candidates.len()
                 )?;
                 for (i, c) in candidates.iter().enumerate() {
-                    if let CandidateOutcome::Rejected { local_size, reason } = c {
+                    if let CandidateOutcome::Rejected {
+                        local_size,
+                        layout,
+                        reason,
+                    } = c
+                    {
                         if i > 0 {
                             write!(f, "; ")?;
                         }
-                        write!(f, "{local_size}: {reason}")?;
+                        write!(f, "{local_size} {}: {reason}", layout.tag())?;
                     }
                 }
                 write!(f, ")")
@@ -284,6 +302,10 @@ pub fn sweep_config<C: ComplexField>(
 /// and only the top `time_top_k` are launched; the pruned tail is
 /// recorded as [`Reject::StaticRank`] with its predicted rank.
 /// Candidates the model cannot estimate are timed unconditionally.
+///
+/// The sweep stays on the configuration's own
+/// [`shared_layout`](KernelConfig::shared_layout); use
+/// [`sweep_layouts_with_mode`] to make the layout a tuned dimension.
 pub fn sweep_config_with_mode<C: ComplexField>(
     problem: &mut DslashProblem<C>,
     cfg: KernelConfig,
@@ -291,9 +313,52 @@ pub fn sweep_config_with_mode<C: ComplexField>(
     queue_mode: QueueMode,
     mode: SweepMode,
 ) -> Result<SweepOutcome, SweepError> {
+    sweep_layout_list(problem, cfg, &[cfg.shared_layout], device, queue_mode, mode)
+}
+
+/// Sweep a configuration over (local size × local-memory layout): every
+/// candidate local size is tried under every layout in
+/// [`KernelConfig::tunable_layouts`] — the paper's dense layout plus the
+/// padded and swizzled bank-conflict remedies — and the fastest
+/// *(size, layout)* point wins.  Ties break toward the smaller local
+/// size, then toward the layout using less local memory (so `flat` wins
+/// a dead heat and a remedy must actually pay for its pad bytes).
+///
+/// Strategies without local memory degenerate to the plain per-size
+/// sweep (their only layout is [`SharedLayout::Flat`]).  In
+/// [`SweepMode::Ranked`] the static cost model ranks all *(size,
+/// layout)* points jointly — the predicted shared-memory wavefronts
+/// price each layout — and only the top `time_top_k` points are timed.
+pub fn sweep_layouts_with_mode<C: ComplexField>(
+    problem: &mut DslashProblem<C>,
+    cfg: KernelConfig,
+    device: &DeviceSpec,
+    queue_mode: QueueMode,
+    mode: SweepMode,
+) -> Result<SweepOutcome, SweepError> {
+    sweep_layout_list(
+        problem,
+        cfg,
+        &cfg.tunable_layouts(),
+        device,
+        queue_mode,
+        mode,
+    )
+}
+
+/// The sweep core: one configuration over the cross product of its
+/// candidate local sizes and an explicit layout list.
+fn sweep_layout_list<C: ComplexField>(
+    problem: &mut DslashProblem<C>,
+    cfg: KernelConfig,
+    layouts: &[SharedLayout],
+    device: &DeviceSpec,
+    queue_mode: QueueMode,
+    mode: SweepMode,
+) -> Result<SweepOutcome, SweepError> {
     let hv = problem.lattice().half_volume() as u64;
-    let candidates = candidate_local_sizes(cfg, hv);
-    if candidates.is_empty() {
+    let sizes = candidate_local_sizes(cfg, hv);
+    if sizes.is_empty() || layouts.is_empty() {
         return Err(SweepError::NoCandidates {
             kernel: cfg.label(),
         });
@@ -301,53 +366,71 @@ pub fn sweep_config_with_mode<C: ComplexField>(
 
     let span = obs::span_on("tune", "tune.sweep");
     span.attr("kernel", cfg.label());
-    span.attr("candidates", candidates.len() as u64);
+    span.attr("candidates", (sizes.len() * layouts.len()) as u64);
+    span.attr("layouts", layouts.len() as u64);
     let tol = problem.validation_tolerance();
 
     // Static gates first: never launch what the linter flags, and
     // never *time* a candidate the access analyzer proves racy or
-    // out of bounds over the full ND-range.
-    let mut gated: Vec<(u32, Option<Reject>)> = Vec::with_capacity(candidates.len());
-    for ls in candidates {
-        let findings = lint_candidate(problem, cfg, ls, device);
-        if !findings.is_empty() {
-            gated.push((ls, Some(Reject::Lint(findings))));
-            continue;
+    // out of bounds over the full ND-range.  Candidates are ordered by
+    // (local size, layout local-mem bytes), so the winner fold's strict
+    // "<" breaks duration ties toward the smaller size and then toward
+    // the cheaper layout.
+    let mut gated: Vec<(SharedLayout, u32, Option<Reject>)> =
+        Vec::with_capacity(sizes.len() * layouts.len());
+    for &ls in &sizes {
+        let mut by_bytes = layouts.to_vec();
+        by_bytes.sort_by_key(|l| l.required_bytes(ls));
+        for layout in by_bytes {
+            let lcfg = cfg.with_layout(layout);
+            let findings = lint_candidate(problem, lcfg, ls, device);
+            if !findings.is_empty() {
+                gated.push((layout, ls, Some(Reject::Lint(findings))));
+                continue;
+            }
+            let proofs = static_candidate(problem, lcfg, ls, device);
+            if !proofs.is_empty() {
+                gated.push((layout, ls, Some(Reject::Static(proofs))));
+                continue;
+            }
+            gated.push((layout, ls, None));
         }
-        let proofs = static_candidate(problem, cfg, ls, device);
-        if !proofs.is_empty() {
-            gated.push((ls, Some(Reject::Static(proofs))));
-            continue;
-        }
-        gated.push((ls, None));
     }
 
-    // Ranked mode: rank the survivors by the cost model's predicted
-    // duration (shared traffic base, per-candidate occupancy — see
-    // [`rank_candidates`]) and prune everything past the top-K.
+    // Ranked mode: rank the survivors of *all* layouts jointly by the
+    // cost model's predicted duration (shared traffic base per layout,
+    // per-candidate occupancy — see [`rank_candidates`]; the layout
+    // enters through its predicted shared-memory wavefronts and its
+    // local-mem occupancy cost) and prune everything past the top-K.
     if let SweepMode::Ranked { time_top_k } = mode {
-        let ranked = rank_candidates(problem, cfg, device);
+        let mut estimable: Vec<(SharedLayout, u32, f64)> = Vec::new();
         let mut inestimable = 0usize;
+        for &layout in layouts {
+            for r in rank_candidates(problem, cfg.with_layout(layout), device) {
+                match &r.estimate {
+                    Ok(est) => estimable.push((layout, r.local_size, est.duration_us)),
+                    Err(_) => inestimable += 1, // stays timed
+                }
+            }
+        }
+        estimable.sort_by(|a, b| {
+            a.2.partial_cmp(&b.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+                .then(a.0.required_bytes(a.1).cmp(&b.0.required_bytes(b.1)))
+        });
         let mut rank = 0usize;
         let k = time_top_k.max(1);
-        for r in &ranked {
+        for (layout, ls, predicted_us) in estimable {
             let Some(slot) = gated
                 .iter_mut()
-                .find(|(c, rej)| *c == r.local_size && rej.is_none())
+                .find(|(l, c, rej)| *l == layout && *c == ls && rej.is_none())
             else {
                 continue; // already rejected by a static gate
             };
-            match &r.estimate {
-                Ok(est) => {
-                    rank += 1;
-                    if rank > k {
-                        slot.1 = Some(Reject::StaticRank {
-                            rank,
-                            predicted_us: est.duration_us,
-                        });
-                    }
-                }
-                Err(_) => inestimable += 1, // stays timed
+            rank += 1;
+            if rank > k {
+                slot.2 = Some(Reject::StaticRank { rank, predicted_us });
             }
         }
         span.attr("ranked_candidates", rank as u64);
@@ -355,28 +438,31 @@ pub fn sweep_config_with_mode<C: ComplexField>(
     }
 
     // A ranked sweep times its survivors back-to-back on one shared
-    // device state: the access stream of a configuration is the same
-    // for every local size, so each timed launch leaves the caches as
-    // warm as a dedicated warmup would, and only the first candidate
-    // pays one.
+    // device state: the *global* access stream of a configuration is
+    // the same for every local size and every local layout, so each
+    // timed launch leaves the caches as warm as a dedicated warmup
+    // would, and only the first candidate pays one.
     let mut shared: Option<(DeviceState, bool)> = match mode {
         SweepMode::Ranked { .. } => Some((DeviceState::new(device), false)),
         SweepMode::Exhaustive => None,
     };
     let mut sweep_launches = 0u64;
     let mut outcomes = Vec::with_capacity(gated.len());
-    for (ls, reject) in gated {
+    for (layout, ls, reject) in gated {
         if let Some(reason) = reject {
             outcomes.push(CandidateOutcome::Rejected {
                 local_size: ls,
+                layout,
                 reason,
             });
             continue;
         }
+        let lcfg = cfg.with_layout(layout);
         let run = match shared.as_mut() {
             Some((state, warmed)) => {
-                let r =
-                    run_config_warm_on_state(problem, cfg, ls, device, queue_mode, state, !*warmed);
+                let r = run_config_warm_on_state(
+                    problem, lcfg, ls, device, queue_mode, state, !*warmed,
+                );
                 if r.is_ok() {
                     sweep_launches += if *warmed { 1 } else { 2 };
                     *warmed = true;
@@ -386,7 +472,7 @@ pub fn sweep_config_with_mode<C: ComplexField>(
                 r
             }
             None => {
-                let r = run_config_warm(problem, cfg, ls, device, queue_mode);
+                let r = run_config_warm(problem, lcfg, ls, device, queue_mode);
                 sweep_launches += if r.is_ok() { 2 } else { 1 };
                 r
             }
@@ -396,6 +482,7 @@ pub fn sweep_config_with_mode<C: ComplexField>(
                 if out.error.rel >= tol {
                     outcomes.push(CandidateOutcome::Rejected {
                         local_size: ls,
+                        layout,
                         reason: Reject::Validation {
                             rel: out.error.rel,
                             tol,
@@ -404,6 +491,7 @@ pub fn sweep_config_with_mode<C: ComplexField>(
                 } else {
                     outcomes.push(CandidateOutcome::Timed(CandidatePoint {
                         local_size: ls,
+                        layout,
                         duration_us: out.report.duration_us,
                         gflops: out.gflops,
                         occupancy: out.report.occupancy.achieved,
@@ -414,6 +502,7 @@ pub fn sweep_config_with_mode<C: ComplexField>(
             }
             Err(e) => outcomes.push(CandidateOutcome::Rejected {
                 local_size: ls,
+                layout,
                 reason: Reject::Launch(e),
             }),
         }
@@ -425,7 +514,8 @@ pub fn sweep_config_with_mode<C: ComplexField>(
             CandidateOutcome::Timed(p) => Some(p),
             CandidateOutcome::Rejected { .. } => None,
         })
-        // Strict "<" keeps the earlier (smaller) local size on ties.
+        // Strict "<" keeps the earlier candidate on ties — smaller
+        // local size, then cheaper layout (the sweep order above).
         .fold(None::<&CandidatePoint>, |best, p| match best {
             Some(b) if b.duration_us <= p.duration_us => Some(b),
             _ => Some(p),
@@ -434,6 +524,7 @@ pub fn sweep_config_with_mode<C: ComplexField>(
     match winner {
         Some(winner) => {
             span.attr("winner_local_size", winner.local_size);
+            span.attr("winner_layout", winner.layout.tag());
             span.attr("winner_duration_us", winner.duration_us);
             span.attr("sweep_launches", sweep_launches);
             Ok(SweepOutcome {
@@ -575,6 +666,7 @@ mod tests {
         let points = [
             CandidateOutcome::Timed(CandidatePoint {
                 local_size: 96,
+                layout: SharedLayout::Flat,
                 duration_us: 10.0,
                 gflops: 1.0,
                 occupancy: 0.5,
@@ -583,6 +675,7 @@ mod tests {
             }),
             CandidateOutcome::Timed(CandidatePoint {
                 local_size: 192,
+                layout: SharedLayout::Flat,
                 duration_us: 10.0,
                 gflops: 1.0,
                 occupancy: 0.5,
@@ -602,5 +695,115 @@ mod tests {
             })
             .unwrap();
         assert_eq!(best.local_size, 96);
+    }
+
+    #[test]
+    fn layout_sweep_covers_the_cross_product_and_a_remedy_wins() {
+        let mut p = DslashProblem::<Z>::random(4, 2024);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let out = sweep_layouts_with_mode(
+            &mut p,
+            cfg,
+            &device,
+            QueueMode::InOrder,
+            SweepMode::Exhaustive,
+        )
+        .unwrap();
+        // 4 paper sizes × 3 tunable layouts, all clean.
+        assert_eq!(out.candidates.len(), 12);
+        assert_eq!(out.rejected(), 0);
+        for ls in [96u32, 192, 384, 768] {
+            let layouts: Vec<_> = out
+                .candidates
+                .iter()
+                .filter(|c| c.local_size() == ls)
+                .map(|c| c.layout())
+                .collect();
+            assert_eq!(layouts.len(), 3, "each size tried under each layout");
+        }
+        // The dense layout's 4-way bank conflict costs real modelled
+        // time; a conflict-free remedy must out-run it at equal size.
+        let flat_best = out
+            .timed()
+            .filter(|p| p.layout == SharedLayout::Flat)
+            .map(|p| p.duration_us)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            out.winner.duration_us < flat_best,
+            "winner {} {} @ {:.3} µs must beat best flat {:.3} µs",
+            out.winner.local_size,
+            out.winner.layout.tag(),
+            out.winner.duration_us,
+            flat_best
+        );
+        assert_ne!(out.winner.layout, SharedLayout::Flat);
+    }
+
+    #[test]
+    fn layout_sweep_degenerates_to_flat_without_local_mem() {
+        let mut p = DslashProblem::<Z>::random(4, 11);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp3, IndexOrder::KMajor);
+        let out = sweep_layouts_with_mode(
+            &mut p,
+            cfg,
+            &device,
+            QueueMode::InOrder,
+            SweepMode::Exhaustive,
+        )
+        .unwrap();
+        assert!(out
+            .candidates
+            .iter()
+            .all(|c| c.layout() == SharedLayout::Flat));
+        let plain = sweep_config(&mut p, cfg, &device, QueueMode::InOrder).unwrap();
+        assert_eq!(out.candidates.len(), plain.candidates.len());
+        assert_eq!(out.winner.local_size, plain.winner.local_size);
+    }
+
+    #[test]
+    fn ranked_layout_sweep_prunes_jointly_and_keeps_the_winner_class() {
+        let mut p = DslashProblem::<Z>::random(4, 2024);
+        let device = DeviceSpec::test_small();
+        let cfg = KernelConfig::new(Strategy::ThreeLp1, IndexOrder::KMajor);
+        let full = sweep_layouts_with_mode(
+            &mut p,
+            cfg,
+            &device,
+            QueueMode::InOrder,
+            SweepMode::Exhaustive,
+        )
+        .unwrap();
+        let ranked = sweep_layouts_with_mode(
+            &mut p,
+            cfg,
+            &device,
+            QueueMode::InOrder,
+            SweepMode::Ranked { time_top_k: 3 },
+        )
+        .unwrap();
+        assert_eq!(ranked.candidates.len(), full.candidates.len());
+        assert_eq!(ranked.timed().count(), 3);
+        // ≥ 60% of the cross product goes untimed (ISSUE acceptance:
+        // ranked sweeps avoid most launches even with the new axis).
+        let avoided = ranked.candidates.len() - ranked.timed().count();
+        assert!(avoided * 10 >= ranked.candidates.len() * 6);
+        assert_eq!(ranked.sweep_launches, 1 + ranked.timed().count() as u64);
+        // The cost model prices bank conflicts, so the joint top-K must
+        // keep a winner-class (size, layout) point in the timed set.
+        let rel =
+            (ranked.winner.duration_us - full.winner.duration_us).abs() / full.winner.duration_us;
+        assert!(
+            rel <= 5e-3,
+            "ranked winner {} {} @ {:.3} µs vs exhaustive {} {} @ {:.3} µs",
+            ranked.winner.local_size,
+            ranked.winner.layout.tag(),
+            ranked.winner.duration_us,
+            full.winner.local_size,
+            full.winner.layout.tag(),
+            full.winner.duration_us
+        );
+        assert_ne!(ranked.winner.layout, SharedLayout::Flat);
     }
 }

@@ -5,13 +5,20 @@
 //!
 //! The performance side models the A100's 32 four-byte-wide banks:
 //! a warp-level shared-memory instruction is split into 4-byte *phases*
-//! (an 8-byte access has two phases, a 16-byte `v2.f64` access four);
-//! within each phase every active lane presents one word address, words
-//! are deduplicated (hardware broadcast), and the number of *wavefronts*
-//! the phase needs is the maximum number of distinct words that map to
-//! one bank.  `excessive = actual - ideal` wavefronts is Table I row 12
-//! ("the difference between memory_l1_wavefronts_shared and
-//! memory_l1_wavefronts_shared_ideal").
+//! sized by the widest access in the warp — the Dslash kernels' 16-byte
+//! `double_complex` (c64) loads and stores are four phases each, the
+//! plain `f64` path two.  Within each phase every active lane presents
+//! one word address, words are deduplicated (hardware broadcast), and
+//! the number of *wavefronts* the phase needs is the maximum number of
+//! distinct words that map to one bank.  The *ideal* count is the
+//! larger of two lower bounds: the deduplicated data volume spread
+//! perfectly over the banks, and one wavefront per phase that has any
+//! active lane (a phase cannot take zero wavefronts, no matter the
+//! layout — a partial-warp c64 access still issues its four phases).
+//! `excessive = actual - ideal` wavefronts is Table I row 12 ("the
+//! difference between memory_l1_wavefronts_shared and
+//! memory_l1_wavefronts_shared_ideal"); a conflict-free layout is one
+//! that drives it to zero.
 
 /// Per-work-group local memory storage.
 pub struct LocalMem {
@@ -110,6 +117,7 @@ pub fn model_shared_instruction(
     let phases = max_bytes.div_ceil(bank_width);
     let mut wavefronts = 0u64;
     let mut total_words = 0u64;
+    let mut active_phases = 0u64;
     // Scratch: distinct words per bank for the current phase.
     let mut per_bank = vec![Vec::<u32>::new(); banks as usize];
     for phase in 0..phases {
@@ -130,10 +138,15 @@ pub fn model_shared_instruction(
         }
         let worst = per_bank.iter().map(|v| v.len() as u64).max().unwrap_or(0);
         wavefronts += worst;
+        if worst > 0 {
+            active_phases += 1;
+        }
         total_words += per_bank.iter().map(|v| v.len() as u64).sum::<u64>();
     }
-    // Ideal: the deduplicated words spread perfectly over the banks.
-    let ideal = total_words.div_ceil(banks as u64);
+    // Ideal: the larger of the two lower bounds — the deduplicated
+    // words spread perfectly over the banks, and one wavefront per
+    // phase that had any active lane (no layout can make a phase free).
+    let ideal = total_words.div_ceil(banks as u64).max(active_phases);
     SharedAccess {
         wavefronts,
         ideal_wavefronts: ideal.min(wavefronts),
@@ -218,6 +231,19 @@ mod tests {
         let acc: Vec<(u32, u8)> = (0..8).map(|i| (i * 4, 4)).collect();
         let r = model_shared_instruction(&acc, BANKS, WIDTH);
         assert_eq!(r.wavefronts, 1);
+        assert_eq!(r.excessive(), 0);
+    }
+
+    #[test]
+    fn partial_warp_c64_ideal_counts_phases() {
+        // 8 lanes × 16-byte accesses: the data volume alone would allow
+        // ceil(32 words / 32 banks) = 1 wavefront, but the instruction
+        // still issues four 4-byte phases — the layout-independent
+        // floor.  Conflict-free words, so actual == ideal.
+        let acc: Vec<(u32, u8)> = (0..8).map(|i| (i * 16, 16)).collect();
+        let r = model_shared_instruction(&acc, BANKS, WIDTH);
+        assert_eq!(r.wavefronts, 4);
+        assert_eq!(r.ideal_wavefronts, 4);
         assert_eq!(r.excessive(), 0);
     }
 

@@ -443,6 +443,70 @@ fn fit_gather(samples: &[ProbeSample], idx: usize, obs: &[(u64, u64, u64)]) -> O
     None
 }
 
+/// The affine-mod-bank normal form of a local-memory slot: its fitted
+/// affine address expression canonicalized under the bank mapping
+/// `bank(addr) = (addr / bank_width) mod banks`.
+///
+/// Padded and XOR-swizzled layouts produce *different* byte-offset
+/// expressions per lane residue, but after the probe's residue split
+/// every one of them is affine in the block index `m` (the XOR in a
+/// chunk-padded swizzle only mixes bits *within* a residue's offset, so
+/// it is constant per residue and folds into `base`).  Dividing by the
+/// bank width and reducing modulo the bank count yields the canonical
+/// form: a start word plus a uniform word rotation per residue block
+/// and per work-group.  When every lane of one warp instruction shares
+/// the same rotations, the instruction's bank-conflict structure is
+/// invariant across `(g, m)`: all lane words translate *together*,
+/// which permutes banks but preserves exactly which lanes collide and
+/// which broadcast — so a single symbolic evaluation at `(0, 0)` covers
+/// the entire ND-range.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BankForm {
+    /// Word index (`addr / bank_width`) at `g = 0, m = 0`.
+    pub word0: i128,
+    /// Word increment per work-group.
+    pub words_per_group: i128,
+    /// Word increment per residue block within a group.
+    pub words_per_block: i128,
+    /// Canonical bank rotation per residue block
+    /// (`words_per_block mod banks`).
+    pub rotation_per_block: u32,
+    /// Canonical bank rotation per work-group
+    /// (`words_per_group mod banks`).
+    pub rotation_per_group: u32,
+}
+
+/// Canonicalize a local slot into the affine-mod-bank normal form.
+///
+/// `None` when the slot is not local, not affine (residual/gather forms
+/// carry no whole-range claim) or not word-aligned (a misaligned access
+/// straddles words and the uniform-translation argument breaks).
+pub fn bank_normal_form(slot: &MemSlot, banks: u32, bank_width: u32) -> Option<BankForm> {
+    if !slot.kind.is_local() || banks == 0 || bank_width == 0 {
+        return None;
+    }
+    let AddrForm::Affine {
+        base,
+        per_group,
+        per_block,
+    } = slot.form
+    else {
+        return None;
+    };
+    let w = bank_width as i128;
+    if base < 0 || base % w != 0 || per_group % w != 0 || per_block % w != 0 {
+        return None;
+    }
+    let b = banks as i128;
+    Some(BankForm {
+        word0: base / w,
+        words_per_group: per_group / w,
+        words_per_block: per_block / w,
+        rotation_per_block: (per_block / w).rem_euclid(b) as u32,
+        rotation_per_group: (per_group / w).rem_euclid(b) as u32,
+    })
+}
+
 /// Render a form for reports: the shape without the base address, so
 /// identical access patterns at different offsets fold together.
 pub(crate) fn form_signature(form: &AddrForm) -> String {

@@ -22,7 +22,14 @@
 //!    from the model and replayed through the *same* warp replayer the
 //!    dynamic engine uses, yielding coalescing (tag/sector) and
 //!    bank-conflict (wavefront) counts that match the dynamic counters
-//!    wherever the model is exact.
+//!    wherever the model is exact.  Local-memory instructions also get
+//!    a *symbolic* bank-conflict proof ([`prove_bank_conflicts`]): each
+//!    slot is canonicalized into the affine-mod-bank normal form
+//!    ([`bank_normal_form`]), warp-uniform word rotations make the
+//!    conflict structure `(group, block)`-invariant, and one evaluation
+//!    per warp pattern — multiplied by its repeat count — yields exact
+//!    whole-launch wavefront totals with concrete conflict witnesses,
+//!    padded and XOR-swizzled layouts included.
 //!
 //! Soundness limits (also surfaced as report notes): residual
 //! footprints are only checked on their probe samples; kernels whose
@@ -38,8 +45,12 @@ pub mod proofs;
 pub mod traffic;
 
 pub use costmodel::{estimate_launch, rank_estimates, spearman, CostEstimate};
-pub use footprint::{AddrForm, LaunchModel, MemSlot, PhaseModel, ResidueShape, SlotKind};
-pub use traffic::{PhaseRep, TrafficPrediction};
+pub use footprint::{
+    bank_normal_form, AddrForm, BankForm, LaunchModel, MemSlot, PhaseModel, ResidueShape, SlotKind,
+};
+pub use traffic::{
+    prove_bank_conflicts, BankConflictProof, BankWitness, PhaseRep, TrafficPrediction,
+};
 
 use crate::device::DeviceSpec;
 use crate::kernel::Kernel;
@@ -149,6 +160,9 @@ pub struct StaticReport {
     pub phase_reps: Vec<PhaseRep>,
     /// Full-launch traffic prediction (when requested and sound).
     pub traffic: Option<TrafficPrediction>,
+    /// Whole-launch symbolic bank-conflict proof (kernels with local
+    /// memory whose slots canonicalize to the affine-mod-bank form).
+    pub bank_proof: Option<BankConflictProof>,
 }
 
 impl StaticReport {
@@ -230,6 +244,39 @@ impl StaticReport {
                 t.atomic_passes
             );
         }
+        if let Some(b) = &self.bank_proof {
+            let _ = writeln!(
+                s,
+                "  bank-proof {} wavefronts={}/{} local={} patterns={}",
+                if b.is_conflict_free() {
+                    "conflict-free"
+                } else {
+                    "conflicted"
+                },
+                b.shared_wavefronts,
+                b.shared_wavefronts_ideal,
+                b.local_instructions,
+                b.patterns_proven
+            );
+            for w in b.witnesses.iter().take(2) {
+                let _ = writeln!(
+                    s,
+                    "    witness phase={} warp={} event={} bank={}: lane {} word {} vs \
+                     lane {} word {} (wavefronts {}/{}, x{})",
+                    w.phase,
+                    w.warp,
+                    w.event_idx,
+                    w.bank,
+                    w.lane_a,
+                    w.word_a,
+                    w.lane_b,
+                    w.word_b,
+                    w.wavefronts,
+                    w.ideal,
+                    w.occurrences
+                );
+            }
+        }
         for f in &self.findings {
             let _ = writeln!(
                 s,
@@ -299,6 +346,7 @@ pub fn analyze(
         footprints: Vec::new(),
         phase_reps: Vec::new(),
         traffic: None,
+        bank_proof: None,
     };
 
     // Probing needs a well-formed launch shape and a local allocation
@@ -348,7 +396,24 @@ pub fn analyze(
             Err(why) => report.notes.push(format!("no traffic prediction: {why}")),
         }
     }
+    if model_has_local_slots(&model) {
+        match traffic::prove_bank_conflicts(&model, device) {
+            Ok(p) => report.bank_proof = Some(p),
+            Err(why) => report.notes.push(format!("no bank-conflict proof: {why}")),
+        }
+    }
     report
+}
+
+/// Whether any uniform phase carries a local-memory slot (the bank
+/// proof is vacuous otherwise and skipped to keep reports quiet).
+fn model_has_local_slots(model: &LaunchModel) -> bool {
+    model.phases.iter().any(|pm| match pm {
+        PhaseModel::Uniform(shapes) => shapes
+            .iter()
+            .any(|s| s.slots.iter().any(|slot| slot.kind.is_local())),
+        PhaseModel::Irregular(_) => false,
+    })
 }
 
 fn summarize_footprints(model: &LaunchModel) -> Vec<SlotSummary> {

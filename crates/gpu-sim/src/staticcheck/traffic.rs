@@ -16,13 +16,16 @@
 //! Miss counts depend on replacement state across the whole launch and
 //! are out of scope — the dynamic engine remains the authority there.
 
-use super::footprint::{AddrForm, LaunchModel, PhaseModel, ResidueShape};
+use super::footprint::{
+    bank_normal_form, form_signature, AddrForm, LaunchModel, PhaseModel, ResidueShape,
+};
 use crate::cache::{Cache, CacheConfig};
 use crate::counters::Counters;
 use crate::device::DeviceSpec;
 use crate::event::Event;
 use crate::memory::DeviceMemory;
-use crate::warp::{replay_warp, ReplaySinks};
+use crate::sharedmem::model_shared_instruction;
+use crate::warp::{replay_warp, segment, ReplaySinks};
 
 /// Predicted cache-state-independent traffic of one launch.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -387,6 +390,295 @@ fn verify_residual_substitution(
         }
     }
     Ok(())
+}
+
+/// One concrete bank-conflict witness: two lanes of one warp-level
+/// local instruction whose *distinct* words map to the same bank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BankWitness {
+    /// Barrier phase.
+    pub phase: usize,
+    /// Warp pattern within the residue block.
+    pub warp: u32,
+    /// Leader lane's event index in its residue stream.
+    pub event_idx: usize,
+    /// 4-byte phase of the instruction where the collision occurs.
+    pub access_phase: u32,
+    /// The contested bank.
+    pub bank: u32,
+    /// First colliding lane (local id at block 0, group 0).
+    pub lane_a: u32,
+    /// Its word index in the contested bank.
+    pub word_a: u64,
+    /// Second colliding lane.
+    pub lane_b: u32,
+    /// Its (distinct) word index in the same bank.
+    pub word_b: u64,
+    /// This instruction's modelled wavefronts.
+    pub wavefronts: u64,
+    /// Its conflict-free lower bound.
+    pub ideal: u64,
+    /// Times the pattern repeats across the launch
+    /// (`blocks_per_group x num_groups`).
+    pub occurrences: u64,
+}
+
+/// A whole-launch symbolic bank-conflict count: every warp-level local
+/// instruction's conflict structure proven `(group, block)`-invariant
+/// via the affine-mod-bank normal form, evaluated once, and multiplied
+/// by its repeat count.  When the proof exists its totals equal
+/// [`predict_traffic`]'s dynamic-replay counts *exactly* — no
+/// enumeration, no dynamic fallback.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BankConflictProof {
+    /// Distinct `(phase, warp pattern, instruction)` triples proven.
+    pub patterns_proven: u64,
+    /// Whole-launch warp-level local instructions covered.
+    pub local_instructions: u64,
+    /// Whole-launch shared-memory wavefronts, symbolically derived.
+    pub shared_wavefronts: u64,
+    /// Whole-launch conflict-free lower bound.
+    pub shared_wavefronts_ideal: u64,
+    /// One concrete witness per conflicted pattern (capped).
+    pub witnesses: Vec<BankWitness>,
+}
+
+impl BankConflictProof {
+    /// Excess wavefronts over the conflict-free lower bound
+    /// (Table I row 12).
+    pub fn excessive(&self) -> u64 {
+        self.shared_wavefronts - self.shared_wavefronts_ideal
+    }
+
+    /// Whether every local instruction was proven conflict-free.
+    pub fn is_conflict_free(&self) -> bool {
+        self.excessive() == 0
+    }
+}
+
+/// Witnesses kept in a proof (one per conflicted pattern, capped).
+const MAX_WITNESSES: usize = 8;
+
+/// Prove the launch's bank-conflict counts symbolically.
+///
+/// For each `(phase, warp pattern)` the residues' predicted streams are
+/// aligned through the *same* segmentation/lockstep rules as
+/// [`replay_warp`], every participating local slot is canonicalized
+/// into the [affine-mod-bank normal form](bank_normal_form), and the
+/// warp-uniformity of the word rotations is checked — the side
+/// condition under which one evaluation of the bank model at
+/// `(g, m) = (0, 0)` covers every repetition of the pattern across the
+/// ND-range.  Addresses never need the live memory image: local slots
+/// are closed-form by construction or the proof refuses.
+///
+/// `Err` carries the reason no proof exists (irregular phase,
+/// warp-unaligned residue period, a non-affine local slot, or word
+/// rotations that differ across the warp).
+pub fn prove_bank_conflicts(
+    model: &LaunchModel,
+    device: &DeviceSpec,
+) -> Result<BankConflictProof, String> {
+    let warp = device.warp_size;
+    if warp == 0 || !model.q_len.is_multiple_of(warp) {
+        return Err(format!(
+            "residue period {} is not warp-aligned",
+            model.q_len
+        ));
+    }
+    let occurrences = model.num_groups * model.blocks_per_group;
+    let mut proof = BankConflictProof::default();
+    for (p, pm) in model.phases.iter().enumerate() {
+        let shapes = match pm {
+            PhaseModel::Uniform(s) => s,
+            PhaseModel::Irregular(why) => {
+                return Err(format!("phase {p} has no uniform model: {why}"))
+            }
+        };
+        for wb in 0..model.q_len / warp {
+            let residues: Vec<u32> = (0..warp).map(|i| wb * warp + i).collect();
+            let instrs = aligned_local_instructions(shapes, &residues)
+                .map_err(|e| format!("phase {p} warp {wb}: {e}"))?;
+            for (event_idx, members) in instrs {
+                let mut accs: Vec<(u32, u8)> = Vec::with_capacity(members.len());
+                let mut lane_ids: Vec<u32> = Vec::with_capacity(members.len());
+                let mut rotation: Option<(i128, i128)> = None;
+                for &(q, idx) in &members {
+                    let slot = shapes[q as usize]
+                        .slot_at(idx)
+                        .ok_or_else(|| format!("phase {p}: no slot at event {idx}"))?;
+                    let nf = bank_normal_form(slot, device.shared_banks, device.bank_width)
+                        .ok_or_else(|| {
+                            format!(
+                                "phase {p} warp {wb} event {idx} (residue {q}): local slot \
+                                 has no affine-mod-bank normal form ({})",
+                                form_signature(&slot.form)
+                            )
+                        })?;
+                    let deltas = (nf.words_per_group, nf.words_per_block);
+                    match rotation {
+                        None => rotation = Some(deltas),
+                        Some(r) if r == deltas => {}
+                        Some(r) => {
+                            return Err(format!(
+                                "phase {p} warp {wb} event {idx}: word deltas differ across \
+                                 lanes ({r:?} vs {deltas:?}) — conflict pattern is not \
+                                 (group, block)-invariant"
+                            ))
+                        }
+                    }
+                    let off = u32::try_from(nf.word0 * device.bank_width as i128)
+                        .map_err(|_| format!("phase {p} event {idx}: offset overflow"))?;
+                    accs.push((off, slot.bytes));
+                    lane_ids.push(q);
+                }
+                let r = model_shared_instruction(&accs, device.shared_banks, device.bank_width);
+                proof.patterns_proven += 1;
+                proof.local_instructions += occurrences;
+                proof.shared_wavefronts += r.wavefronts * occurrences;
+                proof.shared_wavefronts_ideal += r.ideal_wavefronts * occurrences;
+                if r.excessive() > 0 && proof.witnesses.len() < MAX_WITNESSES {
+                    if let Some((ap, bank, (la, wa), (lb, wib))) =
+                        conflict_witness(&accs, &lane_ids, device)
+                    {
+                        proof.witnesses.push(BankWitness {
+                            phase: p,
+                            warp: wb,
+                            event_idx,
+                            access_phase: ap,
+                            bank,
+                            lane_a: la,
+                            word_a: wa,
+                            lane_b: lb,
+                            word_b: wib,
+                            wavefronts: r.wavefronts,
+                            ideal: r.ideal_wavefronts,
+                            occurrences,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(proof)
+}
+
+/// One warp-level local instruction after alignment: the leader event
+/// index paired with every participating `(residue, event index)`.
+type AlignedInstruction = (usize, Vec<(u32, usize)>);
+
+/// Align one warp pattern's residue streams by the replayer's rules
+/// (segment at `set_path`, serialize path groups, lockstep with
+/// early-return lanes dropping out) and return every warp-level local
+/// instruction as `(leader event index, [(residue, event index)])`.
+fn aligned_local_instructions(
+    shapes: &[ResidueShape],
+    residues: &[u32],
+) -> Result<Vec<AlignedInstruction>, String> {
+    let streams: Vec<&[Event]> = residues
+        .iter()
+        .map(|&q| shapes[q as usize].events.as_slice())
+        .collect();
+    let segs: Vec<Vec<(u32, usize, usize)>> = streams.iter().map(|s| segment(s)).collect();
+    let max_segs = segs.iter().map(|s| s.len()).max().unwrap_or(0);
+    let mut out = Vec::new();
+    for seg_idx in 0..max_segs {
+        let mut paths: Vec<u32> = Vec::with_capacity(4);
+        for ls in &segs {
+            if let Some(&(path, _, _)) = ls.get(seg_idx) {
+                if !paths.contains(&path) {
+                    paths.push(path);
+                }
+            }
+        }
+        paths.sort_unstable();
+        for &path in &paths {
+            let mut group: Vec<usize> = Vec::with_capacity(residues.len());
+            for (lane, ls) in segs.iter().enumerate() {
+                if let Some(&(pth, s, e)) = ls.get(seg_idx) {
+                    if pth == path && e > s {
+                        group.push(lane);
+                    }
+                }
+            }
+            if group.is_empty() {
+                continue;
+            }
+            let steps = group
+                .iter()
+                .map(|&l| {
+                    let (_, s, e) = segs[l][seg_idx];
+                    e - s
+                })
+                .max()
+                .expect("non-empty group");
+            for step in 0..steps {
+                let active: Vec<usize> = group
+                    .iter()
+                    .copied()
+                    .filter(|&l| {
+                        let (_, s, e) = segs[l][seg_idx];
+                        e - s > step
+                    })
+                    .collect();
+                let (_, s0, _) = segs[active[0]][seg_idx];
+                if !matches!(
+                    streams[active[0]][s0 + step],
+                    Event::LocalLoad { .. } | Event::LocalStore { .. }
+                ) {
+                    continue;
+                }
+                let mut members = Vec::with_capacity(active.len());
+                for &l in &active {
+                    let (_, s, _) = segs[l][seg_idx];
+                    let idx = s + step;
+                    if !matches!(
+                        streams[l][idx],
+                        Event::LocalLoad { .. } | Event::LocalStore { .. }
+                    ) {
+                        return Err(format!(
+                            "residue {} fell out of lockstep at event {idx}",
+                            residues[l]
+                        ));
+                    }
+                    members.push((residues[l], idx));
+                }
+                out.push((s0 + step, members));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Find two lanes of one instruction whose distinct words share a bank:
+/// `(access phase, bank, (lane, word), (lane, word))`.
+#[allow(clippy::type_complexity)]
+fn conflict_witness(
+    accs: &[(u32, u8)],
+    lanes: &[u32],
+    device: &DeviceSpec,
+) -> Option<(u32, u32, (u32, u64), (u32, u64))> {
+    let width = device.bank_width;
+    let max_bytes = accs.iter().map(|&(_, b)| b as u32).max()?;
+    for phase in 0..max_bytes.div_ceil(width) {
+        let mut per_bank: Vec<Vec<(u64, u32)>> = vec![Vec::new(); device.shared_banks as usize];
+        for (&(off, bytes), &lane) in accs.iter().zip(lanes) {
+            let byte = phase * width;
+            if byte >= bytes as u32 {
+                continue;
+            }
+            let word = ((off + byte) / width) as u64;
+            let bank = (word % device.shared_banks as u64) as usize;
+            if let Some(&(w0, l0)) = per_bank[bank].first() {
+                if w0 != word {
+                    return Some((phase, bank as u32, (l0, w0), (lane, word)));
+                }
+            }
+            if !per_bank[bank].iter().any(|&(w, _)| w == word) {
+                per_bank[bank].push((word, lane));
+            }
+        }
+    }
+    None
 }
 
 /// Predict the launch's traffic from the fitted model.  `Err` carries a

@@ -147,6 +147,9 @@ fn make_entry(
             sanitized,
         },
         local_size,
+        // Cycle through every tag family so the JSON roundtrip and the
+        // strict layout validation both see all of them.
+        layout: ["flat", "pad5", "xor2", "xor1"][kernel_idx % 4].to_string(),
         duration_us,
         gflops: 1e6 / duration_us,
         candidates_ok: 4,
@@ -778,6 +781,115 @@ proptest! {
             timed.iter().any(|e| e.local_size == best_ls && e.duration_us == best_us),
             "top-{k} dropped the predicted best ({best_ls} @ {best_us})"
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Local-memory layout invariants: every tunable-family layout is a
+// bijection onto disjoint 16-byte element blocks (no aliasing for any
+// parameter), the bank model is invariant under warp-uniform word
+// shifts (the translation lemma the static bank-conflict proof rests
+// on), and the symbolic proof's wavefront totals equal the executed
+// launch's counters exactly for every layout.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any layout in the tunable families maps a work-group's element
+    /// range monotonically with ≥ 16-byte gaps — distinct elements
+    /// occupy disjoint blocks, so no two work-items' local slots alias,
+    /// whatever the stride/xor parameters.
+    #[test]
+    fn shared_layouts_never_alias(
+        stride in 4u32..9,
+        xor_bits in 0u32..5,
+        elems in 1u32..=1024,
+    ) {
+        use milc_dslash::SharedLayout;
+        for layout in [
+            SharedLayout::Flat,
+            SharedLayout::Padded { stride_elems: stride },
+            SharedLayout::Swizzled { xor_bits },
+        ] {
+            let mut prev_end = 0u32;
+            for e in 0..elems {
+                let off = layout.offset(e);
+                prop_assert_eq!(off % 4, 0, "{} element {e} not word-aligned", layout.tag());
+                prop_assert!(
+                    off >= prev_end,
+                    "{} element {e} at {off} overlaps previous end {prev_end}",
+                    layout.tag()
+                );
+                prev_end = off + 16;
+            }
+            prop_assert_eq!(layout.required_bytes(elems), prev_end);
+        }
+    }
+
+    /// The dynamic bank model is invariant under a warp-uniform word
+    /// shift: adding the same word delta to every lane rotates banks,
+    /// permuting collisions without changing the wavefront or ideal
+    /// counts.  This is the translation lemma that lets the static
+    /// bank-conflict proof evaluate each access pattern once and
+    /// multiply by its occurrence count across the ND-range.
+    #[test]
+    fn bank_model_is_invariant_under_uniform_word_shifts(
+        words in collection::vec(0u32..256, 1..33),
+        shift_words in 0u32..512,
+        bytes_sel in 0usize..3,
+    ) {
+        use gpu_sim::sharedmem::model_shared_instruction;
+        let bytes = [4u8, 8, 16][bytes_sel];
+        let base: Vec<(u32, u8)> = words.iter().map(|&w| (w * 4, bytes)).collect();
+        let shifted: Vec<(u32, u8)> =
+            words.iter().map(|&w| ((w + shift_words) * 4, bytes)).collect();
+        let a = model_shared_instruction(&base, 32, 4);
+        let b = model_shared_instruction(&shifted, 32, 4);
+        prop_assert_eq!(a, b, "shift by {shift_words} words changed the model");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The static bank-conflict proof computes the *exact* shared-memory
+    /// wavefront totals of the launch — actual and ideal — through
+    /// every layout, including the XOR swizzle, with no dynamic
+    /// fallback: randomized field seeds never perturb it (the proof is
+    /// value-blind), and the executed launch's counters match word for
+    /// word.
+    #[test]
+    fn static_bank_proof_matches_dynamic_wavefronts(
+        seed in 0u64..100,
+        layout_idx in 0usize..3,
+        cfg_idx in 0usize..3,
+    ) {
+        use gpu_sim::StaticCheckConfig;
+        use milc_dslash::{run_config_staticcheck, SharedLayout};
+
+        let (s, o, ls) = [
+            (Strategy::ThreeLp1, IndexOrder::KMajor, 96),
+            (Strategy::ThreeLp2, IndexOrder::IMajor, 96),
+            (Strategy::FourLp2, IndexOrder::IMajor, 96),
+        ][cfg_idx];
+        let layout = SharedLayout::TUNABLE[layout_idx];
+        let mut p = DslashProblem::<Z>::random(2, seed);
+        let cfg = KernelConfig::new(s, o).with_layout(layout);
+        let dev = DeviceSpec::a100();
+        let srep = run_config_staticcheck(&p, cfg, ls, &dev, &StaticCheckConfig::full()).unwrap();
+        let proof = srep.bank_proof.unwrap_or_else(|| {
+            panic!("{} {}: no bank proof: {:?}", s.name(), layout.tag(), srep.notes)
+        });
+        let out = run_config(&mut p, cfg, ls, &dev, QueueMode::InOrder).unwrap();
+        prop_assert_eq!(
+            proof.shared_wavefronts, out.report.counters.shared_wavefronts,
+            "{} {}: proved wavefronts diverge", s.name(), layout.tag()
+        );
+        prop_assert_eq!(
+            proof.shared_wavefronts_ideal, out.report.counters.shared_wavefronts_ideal,
+            "{} {}: proved ideal diverges", s.name(), layout.tag()
+        );
+        prop_assert_eq!(proof.local_instructions, out.report.counters.local_instructions);
     }
 }
 

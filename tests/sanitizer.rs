@@ -6,12 +6,13 @@
 
 use gpu_sim::{
     lint_launch, DeviceSpec, FindingKind, Kernel, KernelResources, Launcher, LintKind, NdRange,
-    SanitizerConfig, SanitizerReport,
+    SanitizerConfig, SanitizerReport, StaticCheckConfig,
 };
 use milc_complex::DoubleComplex as Z;
 use milc_dslash::{
-    run_config_sanitized, BrokenBarrierThreeLp1, DslashProblem, KernelConfig, OobGaugeIndex,
-    PlainStoreThreeLp3, Strategy, UninitCRead,
+    run_config_sanitized, staticcheck_kernel, AliasingSwizzle, BrokenBarrierThreeLp1,
+    DslashProblem, KernelConfig, OobGaugeIndex, PlainStoreThreeLp3, SharedLayout, Strategy,
+    UninitCRead,
 };
 
 const L: usize = 4;
@@ -63,6 +64,94 @@ fn sanitized_result_still_matches_reference() {
     assert!(
         err.within_reassociation_noise(),
         "sanitized run corrupted the result: {err:?}"
+    );
+}
+
+#[test]
+fn swizzled_local_layouts_certify_clean_under_racecheck() {
+    // The XOR swizzle remaps which local bytes a lane touches; if the
+    // mapping aliased, two writers of one phase would collide and the
+    // race checker would see it.  Every local-memory strategy must stay
+    // racecheck-clean (and bitwise correct) under the swizzled layout.
+    use milc_dslash::IndexOrder::{IMajor, KMajor, LMajor};
+    let device = DeviceSpec::test_small();
+    let mut problem = DslashProblem::<Z>::random(L, 48);
+    for (strategy, order) in [
+        (Strategy::ThreeLp1, KMajor),
+        (Strategy::ThreeLp1, IMajor),
+        (Strategy::ThreeLp2, KMajor),
+        (Strategy::FourLp1, KMajor),
+        (Strategy::FourLp2, LMajor),
+    ] {
+        let cfg =
+            KernelConfig::new(strategy, order).with_layout(SharedLayout::Swizzled { xor_bits: 2 });
+        for san in [
+            SanitizerConfig::racecheck_only(),
+            SanitizerConfig::default(),
+        ] {
+            let report =
+                run_config_sanitized(&mut problem, cfg, local_size_for(strategy), &device, san)
+                    .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+            let san_report = report.sanitizer.expect("sanitized launch has a report");
+            assert!(
+                san_report.is_clean(),
+                "{} not clean: {:?}",
+                cfg.label(),
+                san_report.findings
+            );
+            assert!(
+                san_report.checked_accesses > 0,
+                "{} checked nothing",
+                cfg.label()
+            );
+        }
+        let out = problem.read_output();
+        let err = milc_dslash::compare_to_reference(&out, problem.reference());
+        assert!(
+            err.within_reassociation_noise(),
+            "{} corrupted the result: {err:?}",
+            cfg.label()
+        );
+    }
+}
+
+#[test]
+fn aliasing_swizzle_is_flagged_by_racecheck_and_static_proof() {
+    // The in-place XOR swizzle (no chunk pad) is not injective:
+    // element 31's block overlaps element 32's, so two lanes of one
+    // phase write the same local bytes.  The dynamic race checker must
+    // see the collision, and the static local-race proof must derive it
+    // from the offset map alone — same bug, two independent detectors.
+    let problem = DslashProblem::<Z>::random(L, 49);
+    let kernel = AliasingSwizzle::new(problem.tables());
+    let range = NdRange::linear(HV * 12, 96);
+    let device = DeviceSpec::test_small();
+
+    let san = Launcher::new(&device)
+        .with_sanitizer(SanitizerConfig::racecheck_only())
+        .launch(&kernel, range, problem.memory())
+        .expect("the defect launches under tolerant lanes")
+        .sanitizer
+        .expect("sanitized launch has a report");
+    assert!(
+        san.count_class("race") >= 1,
+        "dynamic racecheck missed the aliasing swizzle: {:?}",
+        san.findings
+    );
+    assert_eq!(san.findings[0].kind, FindingKind::LocalRace);
+
+    let srep = staticcheck_kernel(
+        &kernel,
+        &range,
+        &device,
+        problem.memory(),
+        &StaticCheckConfig::default(),
+        kernel.name(),
+    );
+    assert!(
+        srep.count_class("race") >= 1,
+        "static analysis missed the aliasing swizzle: {:?}",
+        srep.findings
     );
 }
 

@@ -42,7 +42,9 @@ fn snapshot_path() -> PathBuf {
 
 /// Tune all twelve Table I configurations; one CSV line per config.
 /// Durations are printed to 3 decimals — far coarser than f64 but fine
-/// enough that any real model change moves them.
+/// enough that any real model change moves them.  The winning
+/// shared-memory layout is pinned too: a layout flip is as much a
+/// perf-model claim as a moved duration.
 fn tuned_rows() -> Vec<String> {
     let exp = Experiment::new(L, SEED);
     let mut problem = DslashProblem::<DoubleComplex>::random(L, exp.seed);
@@ -55,9 +57,10 @@ fn tuned_rows() -> Vec<String> {
                 .tune(&mut problem, cfg, &exp.device, QueueMode::OutOfOrder)
                 .unwrap_or_else(|e| panic!("{} failed to tune: {e}", cfg.label()));
             format!(
-                "{},{},{:.3}",
+                "{},{},{},{:.3}",
                 cfg.label(),
                 d.entry.local_size,
+                d.entry.layout,
                 d.entry.duration_us
             )
         })
@@ -67,7 +70,10 @@ fn tuned_rows() -> Vec<String> {
 #[test]
 fn tuner_selections_match_the_golden_snapshot() {
     let rows = tuned_rows();
-    let rendered = format!("kernel,local_size,duration_us\n{}\n", rows.join("\n"));
+    let rendered = format!(
+        "kernel,local_size,layout,duration_us\n{}\n",
+        rows.join("\n")
+    );
     let path = snapshot_path();
 
     if std::env::var_os("TUNE_GOLDEN_UPDATE").is_some() {
