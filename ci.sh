@@ -23,11 +23,17 @@ test -s results/staticcheck.md || { echo "staticcheck did not write the report";
 echo "== costmodel (analytic duration ranking: differential proof + golden snapshot) =="
 cargo test --offline -q --release --test costmodel_diff --test costmodel_golden
 
-echo "== tune (autotune smoke: cold sweep writes the cache, warm rerun is 100% hits, ranked sweeps avoid >= 60% of launches) =="
+echo "== static tune (measurement-free tuning: 5% regret + cold calibration differential proof, golden snapshot) =="
+cargo test --offline -q --release --test static_tune_diff --test static_tune_golden
+
+echo "== tune (autotune smoke: cold sweep writes the cache, warm rerun is 100% hits, ranked sweeps avoid >= 60% of launches, static sweeps decide launch-free) =="
 TUNE_SMOKE_CACHE="$(mktemp -d)/tunecache.json"
 cargo run --offline --release -p milc-bench --bin tune -- 4 "$TUNE_SMOKE_CACHE"
 test -s "$TUNE_SMOKE_CACHE" || { echo "tune smoke did not write the cache"; exit 1; }
 rm -rf "$(dirname "$TUNE_SMOKE_CACHE")"
+
+echo "== tune --static (measurement-free smoke: zero launches end to end) =="
+cargo run --offline --release -p milc-bench --bin tune -- 4 --static
 
 echo "== table1 --trace (timeline + metrics artifacts) =="
 cargo run --offline --release -p milc-bench --bin table1 -- 16 --trace results/table1.trace.json
@@ -54,14 +60,15 @@ cargo run --offline --release -p milc-bench --bin profile -- 16
 test -s results/profile.md || { echo "profile did not write the report"; exit 1; }
 test -s results/roofline.csv || { echo "profile did not write the roofline csv"; exit 1; }
 
-echo "== perfdiff (perf-regression gate, threshold +10%; gates ranked-sweep winners and cost-model drift; selftest proves both FAIL paths) =="
-cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --ranked --profile --selftest
+echo "== perfdiff (perf-regression gate, threshold +10%; gates ranked-sweep and static-sweep winners, cold drift and cost-model drift; selftest proves the FAIL paths) =="
+cargo run --offline --release -p milc-bench --bin perfdiff -- 16 --scaling --ranked --static-tune --profile --selftest
 
 echo "== collecting artifacts =="
 ARTIFACTS_DIR="${ARTIFACTS_DIR:-target/ci-artifacts}"
 mkdir -p "$ARTIFACTS_DIR"
 cp results/*.trace.json results/metrics.txt results/staticcheck.md \
-  results/tune.md results/tune_ranked.csv results/profile.md results/roofline.csv \
+  results/tune.md results/tune_ranked.csv results/tune_static.csv \
+  results/profile.md results/roofline.csv \
   "$ARTIFACTS_DIR"/
 echo "artifacts in $ARTIFACTS_DIR: $(ls "$ARTIFACTS_DIR" | tr '\n' ' ')"
 

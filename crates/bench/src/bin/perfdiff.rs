@@ -19,6 +19,12 @@
 //!   `results/tune_ranked.csv` (the winners the statically pruned
 //!   sweep mode selected; each is re-measured warm at its recorded
 //!   local size);
+//! - `--static-tune` additionally gates every row of
+//!   `results/tune_static.csv` (the winners the *measurement-free*
+//!   sweep mode selected): each is re-measured warm at its recorded
+//!   point against the committed measured duration, and the
+//!   cold-regime calibrated prediction is drift-gated (±25%) against a
+//!   genuinely cold launch;
 //! - `--profile` additionally gates prediction drift: every Table I
 //!   launch is compared against its static [`CostEstimate`] along the
 //!   duration and traffic paths, and any path outside its tolerance
@@ -31,10 +37,10 @@
 //! - `PERFDIFF_INFLATE=<factor>` multiplies fresh durations before the
 //!   main comparison (for demonstrating a seeded slowdown end to end).
 
-use gpu_sim::QueueMode;
+use gpu_sim::{QueueMode, Regime};
 use milc_bench::perfdiff::{
     diff, parse_fig6_baseline, parse_ranked_baseline, parse_scaling_baseline,
-    parse_table1_baseline, BaselineEntry, REGRESSION_THRESHOLD,
+    parse_static_tune_baseline, parse_table1_baseline, BaselineEntry, REGRESSION_THRESHOLD,
 };
 use milc_bench::{
     extension_compressed_3lp1, fig6_strategies, fig6_variants, paper, scaling_config_key,
@@ -43,7 +49,8 @@ use milc_bench::{
 use milc_complex::{Cplx, DoubleComplex};
 use milc_dslash::obs::prof::{DriftReport, DriftRow};
 use milc_dslash::{
-    estimate_config, run_config_warm, DslashProblem, IndexOrder, KernelConfig, Strategy, TuneCache,
+    estimate_config, run_config, run_config_warm, DslashProblem, IndexOrder, KernelConfig,
+    Strategy, TuneCache,
 };
 use std::path::Path;
 
@@ -52,6 +59,7 @@ fn main() {
     let mut with_fig6 = false;
     let mut with_scaling = false;
     let mut with_ranked = false;
+    let mut with_static_tune = false;
     let mut with_profile = false;
     let mut selftest = false;
     let mut baseline_path: Option<String> = None;
@@ -61,6 +69,7 @@ fn main() {
             "--fig6" => with_fig6 = true,
             "--scaling" => with_scaling = true,
             "--ranked" => with_ranked = true,
+            "--static-tune" => with_static_tune = true,
             "--profile" => with_profile = true,
             "--selftest" => selftest = true,
             "--baseline" => {
@@ -197,6 +206,77 @@ fn main() {
         }
     }
 
+    // The static-tune rows feed two gates: the shared diff (warm
+    // re-measurement vs the committed measured duration) and the
+    // cold-regime drift gate.  Cold rows are kept for the selftest.
+    let mut static_cold = Vec::new();
+    if with_static_tune {
+        let static_path = "results/tune_static.csv";
+        let static_csv = std::fs::read_to_string(static_path)
+            .unwrap_or_else(|e| panic!("read baseline {static_path}: {e}"));
+        let rows = parse_static_tune_baseline(&static_csv)
+            .unwrap_or_else(|e| panic!("parse baseline {static_path}: {e}"));
+        eprintln!(
+            "re-measuring {} static-sweep winners (warm diff + cold drift) ...",
+            rows.len()
+        );
+        for row in rows {
+            let cfg = paper::TABLE1
+                .iter()
+                .map(|col| KernelConfig::new(col.strategy, col.order))
+                .find(|c| c.label() == row.kernel)
+                .unwrap_or_else(|| panic!("{static_path}: unknown kernel {:?}", row.kernel))
+                .with_layout(
+                    milc_dslash::SharedLayout::from_tag(&row.layout)
+                        .unwrap_or_else(|| panic!("{static_path}: bad layout {:?}", row.layout)),
+                );
+            baseline.push(BaselineEntry {
+                config: format!("static:{}", row.kernel),
+                duration_us: row.measured_us,
+            });
+            let warm = run_config_warm(
+                &mut problem,
+                cfg,
+                row.local_size,
+                &exp.device,
+                QueueMode::OutOfOrder,
+            )
+            .unwrap_or_else(|e| panic!("{}: static winner failed to run: {e}", row.kernel));
+            fresh.push(BaselineEntry {
+                config: format!("static:{}", row.kernel),
+                duration_us: warm.report.duration_us * inflate,
+            });
+
+            // Cold drift: a fresh-state launch against the cold-regime
+            // calibrated estimate of the same point.
+            let est = estimate_config(&problem, cfg, row.local_size, &exp.device)
+                .unwrap_or_else(|e| panic!("{}: no static estimate: {e}", row.kernel));
+            let cold = run_config(
+                &mut problem,
+                cfg,
+                row.local_size,
+                &exp.device,
+                QueueMode::OutOfOrder,
+            )
+            .unwrap_or_else(|e| panic!("{}: cold run failed: {e}", row.kernel));
+            drift.rows.push(DriftRow::from_parts_in(
+                &format!("static:{}", row.kernel),
+                row.local_size,
+                cold.report.duration_us * inflate,
+                &cold.report.counters,
+                &est,
+                Regime::Cold,
+            ));
+            static_cold.push((row.kernel.clone(), cold, est));
+        }
+        if let Some((r, p)) = drift.worst() {
+            eprintln!(
+                "static-tune drift: worst path {} {} at {:+.3}% (tolerance ±{:.0}%)",
+                r.kernel, p.path, p.drift_pct, p.tolerance_pct
+            );
+        }
+    }
+
     if with_scaling {
         let scaling_path = "results/scaling.csv";
         let scaling_csv = std::fs::read_to_string(scaling_path)
@@ -265,6 +345,36 @@ fn main() {
                 "selftest: 2x duration inflation breaks drift on {}/{} configs — drift gate verified",
                 broken,
                 slowed_drift.rows.len()
+            );
+        }
+        if with_static_tune {
+            // Same proof for the cold-regime gate: doubled cold
+            // measurements must blow the ±25% duration tolerance.
+            let mut slowed_cold = DriftReport::default();
+            for (kernel, cold, est) in &static_cold {
+                slowed_cold.rows.push(DriftRow::from_parts_in(
+                    &format!("static:{kernel}"),
+                    est.local_size,
+                    cold.report.duration_us * inflate * 2.0,
+                    &cold.report.counters,
+                    est,
+                    Regime::Cold,
+                ));
+            }
+            assert!(
+                slowed_cold.failed(),
+                "selftest: a 2x cold-duration inflation must trip the cold drift gate"
+            );
+            let broken = slowed_cold
+                .rows
+                .iter()
+                .filter(|r| !r.within_tolerance())
+                .count();
+            println!(
+                "selftest: 2x cold inflation breaks drift on {}/{} static winners — \
+                 cold gate verified",
+                broken,
+                slowed_cold.rows.len()
             );
         }
     }

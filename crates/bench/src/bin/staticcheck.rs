@@ -4,7 +4,10 @@
 //! the dynamic coalescing/bank model (within 1%), ranks every legal
 //! local size with the analytic cost model and cross-validates the
 //! ranking against exhaustive warm sweeps (winner in the predicted
-//! top-3, Spearman ≥ 0.8 per configuration), and shows the four
+//! top-3, Spearman ≥ 0.8 per configuration), gates the cold-regime
+//! calibration (cold predictions ≥ warm, calibrated cold durations
+//! within ±25% of genuinely cold launches, with the per-run fitted
+//! scale reported against the committed table), and shows the four
 //! deliberately broken kernels are each flagged statically with the
 //! right finding class.
 //!
@@ -16,15 +19,16 @@
 //! defect kernel escapes static detection.
 
 use gpu_sim::{
-    spearman, Kernel, Launcher, NdRange, QueueMode, SanitizerConfig, StaticCheckConfig,
-    StaticReport, TrafficPrediction,
+    spearman, Kernel, Launcher, NdRange, QueueMode, Regime, RegimeCalibration, SanitizerConfig,
+    StaticCheckConfig, StaticReport, TrafficPrediction,
 };
 use milc_bench::{paper, Experiment};
 use milc_complex::DoubleComplex;
 use milc_dslash::tune::sweep_config;
 use milc_dslash::{
-    rank_candidates, run_config, run_config_staticcheck, staticcheck_kernel, BrokenBarrierThreeLp1,
-    DslashProblem, KernelConfig, OobGaugeIndex, PlainStoreThreeLp3, UninitCRead,
+    estimate_config, rank_candidates, run_config, run_config_staticcheck, staticcheck_kernel,
+    BrokenBarrierThreeLp1, DslashProblem, KernelConfig, OobGaugeIndex, PlainStoreThreeLp3,
+    UninitCRead,
 };
 
 /// Tolerance of the static-vs-dynamic traffic cross-validation.
@@ -337,6 +341,86 @@ fn main() {
                 .unwrap_or_else(|| "—".to_string()),
             if ok { "ok" } else { "FAIL" }
         ));
+    }
+
+    // -- Part 3b: the cold-regime side of the cost model.  Per
+    //    configuration the compulsory-miss path must price a cold
+    //    launch at or above the warm one, and the calibrated cold
+    //    prediction must land within ±25% of a genuinely cold measured
+    //    launch (`run_config`: fresh device state).  The per-run fitted
+    //    scale is reported next to the committed calibration table so a
+    //    drifting fit is visible before it trips the gate.
+    md.push_str(&format!(
+        "\n## Cold-regime predictions (compulsory-miss path, calibrated ×{})\n\n\
+         | config | warm model (µs) | cold model (µs) | cold calibrated (µs) \
+         | cold measured (µs) | drift | status |\n\
+         |---|---:|---:|---:|---:|---:|---|\n",
+        RegimeCalibration::committed().scale(Regime::Cold)
+    ));
+    eprintln!("checking cold-regime predictions against cold launches ...");
+    let cal = RegimeCalibration::committed();
+    let mut cold_pairs: Vec<(f64, f64)> = Vec::new();
+    for col in paper::TABLE1.iter() {
+        let cfg = KernelConfig::new(col.strategy, col.order);
+        let ls = paper::table1_local_size(col.strategy);
+        let est = match estimate_config(&problem, cfg, ls, &exp.device) {
+            Ok(e) => e,
+            Err(why) => {
+                // Inestimable configurations fall back to measuring in
+                // production; they are reported, not failed.
+                md.push_str(&format!(
+                    "| {} | — | — | — | — | — | inestimable: {why} |\n",
+                    cfg.label()
+                ));
+                continue;
+            }
+        };
+        let ordered = est.cold_duration_us >= est.duration_us;
+        let predicted = cal.calibrated_us(&est, Regime::Cold);
+        let out = run_config(&mut problem, cfg, ls, &exp.device, QueueMode::OutOfOrder)
+            .expect("table 1 configuration must launch");
+        let measured = out.report.duration_us;
+        cold_pairs.push((measured, est.cold_duration_us));
+        let drift = (predicted - measured) / measured * 100.0;
+        let ok = ordered && drift.abs() <= milc_dslash::obs::prof::DURATION_TOLERANCE_PCT;
+        failed |= !ok;
+        eprintln!(
+            "  {:16} @ {ls:3}: cold {predicted:9.1} µs vs measured {measured:9.1} µs \
+             ({drift:+.1}%) -> {}",
+            cfg.label(),
+            if ok { "ok" } else { "FAIL" }
+        );
+        md.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.1} | {:.1} | {:+.1}% | {} |\n",
+            cfg.label(),
+            est.duration_us,
+            est.cold_duration_us,
+            predicted,
+            measured,
+            drift,
+            if ok {
+                "ok"
+            } else if ordered {
+                "FAIL: drift"
+            } else {
+                "FAIL: cold below warm"
+            }
+        ));
+    }
+    match RegimeCalibration::fit_scale(&cold_pairs) {
+        Some(fitted) => {
+            let committed = cal.scale(Regime::Cold);
+            md.push_str(&format!(
+                "\nFitted cold scale at L = {l}: **{fitted:.4}** (committed {committed}; \
+                 the committed value is the cross-L geometric mean, so a per-L fit \
+                 may sit to either side).\n"
+            ));
+            eprintln!("cold scale: fitted {fitted:.4} vs committed {committed}");
+        }
+        None => {
+            md.push_str("\nNo estimable configurations to fit a cold scale from.\n");
+            failed = true;
+        }
     }
 
     // -- Part 4: the defect kernels must be flagged *statically* with

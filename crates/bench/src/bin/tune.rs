@@ -10,11 +10,21 @@
 //! ranked winners are written to `results/tune_ranked.csv` — the
 //! baseline `perfdiff --ranked` gates against.
 //!
-//! Usage: `cargo run -p milc-bench --bin tune --release [L] [cache]`
-//! (default L = 16, cache = `results/tunecache.json`).  Writes
-//! `results/tune.md`; exits non-zero if the cold sweep fails, the warm
-//! rerun misses the cache, a ranked sweep misses its gates, or the
-//! Fig. 6 cross-check fails.
+//! The same phase also gates **measurement-free tuning**: per
+//! configuration a `SweepMode::Static` sweep must spend *zero* launches
+//! and its winner's measured duration (read off the exhaustive sweep)
+//! must be within 5% of the exhaustive winner's.  At L = 16 the static
+//! winners land in `results/tune_static.csv` — the baseline `perfdiff
+//! --static-tune` gates against.
+//!
+//! Usage: `cargo run -p milc-bench --bin tune --release [L] [cache]
+//! [--static]` (default L = 16, cache = `results/tunecache.json`).
+//! Writes `results/tune.md`; exits non-zero if the cold sweep fails,
+//! the warm rerun misses the cache, a ranked or static sweep misses
+//! its gates, or the Fig. 6 cross-check fails.  With `--static` the
+//! bin runs the measurement-free smoke instead: static sweeps only,
+//! zero launches end to end, failing if any configuration cannot be
+//! decided statically.
 //!
 //! To reset the tuner (e.g. after changing the timing model — though a
 //! `TUNECACHE_VERSION` bump handles that automatically), delete the
@@ -38,6 +48,11 @@ const RANKED_WINNER_TOL: f64 = 5e-3;
 /// The fraction of exhaustive sweep launches the ranked mode must
 /// avoid, aggregated over all twelve configurations.
 const RANKED_MIN_AVOIDED: f64 = 0.6;
+
+/// Measurement-free gate: the static winner's *measured* duration may
+/// trail the exhaustive winner's by at most this much (the bound
+/// `tests/static_tune_diff.rs` proves per configuration).
+const STATIC_MAX_REGRET: f64 = 0.05;
 
 /// Best (minimum-duration) fig6.csv row of a series/order, if the file
 /// and such rows exist: `(local_size, duration_us)`.
@@ -71,12 +86,71 @@ fn describe_load(outcome: &LoadOutcome) -> String {
     }
 }
 
+/// The measurement-free smoke (`--static`): a static layout sweep per
+/// Table I configuration, zero launches end to end.  Exits the process.
+fn static_smoke(l: usize) -> ! {
+    let exp = Experiment::new(l, 2024);
+    eprintln!(
+        "tune --static: L = {l} on {} ({} SMs), measurement-free",
+        exp.device.name, exp.device.num_sms
+    );
+    let mut problem = DslashProblem::<DoubleComplex>::random(l, exp.seed);
+    let mut failed = false;
+    let mut launches = 0u64;
+    for col in paper::TABLE1 {
+        let cfg = KernelConfig::new(col.strategy, col.order);
+        match sweep_layouts_with_mode(
+            &mut problem,
+            cfg,
+            &exp.device,
+            QueueMode::OutOfOrder,
+            SweepMode::Static,
+        ) {
+            Ok(s) => {
+                launches += s.sweep_launches;
+                let ok = s.sweep_launches == 0 && s.timed().count() == 0;
+                failed |= !ok;
+                eprintln!(
+                    "  {:16} -> {:4} {:5} ({:9.1} µs predicted, {} launches) -> {}",
+                    cfg.label(),
+                    s.winner.local_size,
+                    s.winner.layout.tag(),
+                    s.winner.duration_us,
+                    s.sweep_launches,
+                    if ok { "ok" } else { "FAIL: launched" }
+                );
+            }
+            Err(e) => {
+                eprintln!("  {:16} -> STATIC SWEEP FAILED: {e}", cfg.label());
+                failed = true;
+            }
+        }
+    }
+    eprintln!(
+        "tune --static: {launches} launches spent -> {}",
+        if failed || launches > 0 {
+            "FAIL"
+        } else {
+            "PASS (measurement-free)"
+        }
+    );
+    std::process::exit(if failed || launches > 0 { 1 } else { 0 });
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    for f in &flags {
+        assert_eq!(f, "--static", "unknown flag {f} (expected --static)");
+    }
+    let mut args = positional.into_iter();
     let l: usize = args
         .next()
         .map(|a| a.parse().expect("lattice size must be an integer"))
         .unwrap_or(16);
+    if !flags.is_empty() {
+        static_smoke(l);
+    }
     let cache_path: PathBuf = args
         .next()
         .map(PathBuf::from)
@@ -283,6 +357,8 @@ fn main() {
     let mut full_launches = 0u64;
     let mut ranked_launches = 0u64;
     let mut ranked_rows: Vec<(String, u32, String, f64)> = Vec::new();
+    // (kernel, local_size, layout, predicted_us, measured_us, regret)
+    let mut static_rows: Vec<(String, u32, String, f64, f64, f64)> = Vec::new();
     for &cfg in &configs {
         let full = match sweep_layouts_with_mode(
             &mut problem,
@@ -322,6 +398,56 @@ fn main() {
                 continue;
             }
         };
+        // Measurement-free gate: the static sweep must decide without
+        // launching, and its winner — measured by the exhaustive sweep
+        // above — must be within STATIC_MAX_REGRET of the true winner.
+        match sweep_layouts_with_mode(
+            &mut problem,
+            cfg,
+            &exp.device,
+            QueueMode::OutOfOrder,
+            SweepMode::Static,
+        ) {
+            Ok(stat) => {
+                let measured = full
+                    .timed()
+                    .find(|p| {
+                        p.local_size == stat.winner.local_size && p.layout == stat.winner.layout
+                    })
+                    .map(|p| p.duration_us);
+                let ok = stat.sweep_launches == 0
+                    && measured.is_some_and(|m| {
+                        (m - full.winner.duration_us) / full.winner.duration_us <= STATIC_MAX_REGRET
+                    });
+                failed |= !ok;
+                let measured_us = measured.unwrap_or(f64::NAN);
+                let regret = (measured_us - full.winner.duration_us) / full.winner.duration_us;
+                eprintln!(
+                    "  {:16} static winner {:4} {:5} predicted {:9.1} µs, measured {:9.1} µs \
+                     (regret {:+.2}%, {} launches) -> {}",
+                    cfg.label(),
+                    stat.winner.local_size,
+                    stat.winner.layout.tag(),
+                    stat.winner.duration_us,
+                    measured_us,
+                    regret * 100.0,
+                    stat.sweep_launches,
+                    if ok { "ok" } else { "FAIL" }
+                );
+                static_rows.push((
+                    cfg.label(),
+                    stat.winner.local_size,
+                    stat.winner.layout.tag(),
+                    stat.winner.duration_us,
+                    measured_us,
+                    regret,
+                ));
+            }
+            Err(e) => {
+                eprintln!("  {:16} static sweep FAILED: {e}", cfg.label());
+                failed = true;
+            }
+        }
         let avoided = 1.0 - ranked.sweep_launches as f64 / full.sweep_launches as f64;
         let rel =
             (ranked.winner.duration_us - full.winner.duration_us).abs() / full.winner.duration_us;
@@ -386,7 +512,20 @@ fn main() {
         RANKED_MIN_AVOIDED * 100.0,
         if avoided_ok { "ok" } else { "FAIL" }
     ));
-    // The L = 16 run is the committed baseline for `perfdiff --ranked`.
+    md.push_str(&format!(
+        "\n## Static sweeps (measurement-free, zero launches, regret gate ≤ {:.0}%)\n\n\
+         | config | static winner | layout | predicted (µs) | measured (µs) | regret |\n\
+         |---|---:|---|---:|---:|---:|\n",
+        STATIC_MAX_REGRET * 100.0
+    ));
+    for (kernel, ls, layout, predicted, measured, regret) in &static_rows {
+        md.push_str(&format!(
+            "| {kernel} | {ls} | {layout} | {predicted:.1} | {measured:.1} | {:+.2}% |\n",
+            regret * 100.0
+        ));
+    }
+    // The L = 16 run is the committed baseline for `perfdiff --ranked`
+    // and `perfdiff --static-tune`.
     if l == 16 && !ranked_rows.is_empty() {
         let mut csv = milc_bench::provenance::header_comment(&exp.device);
         csv.push_str("kernel,local_size,layout,duration_us\n");
@@ -398,6 +537,22 @@ fn main() {
         eprintln!(
             "phase 3: wrote results/tune_ranked.csv ({} rows)",
             ranked_rows.len()
+        );
+    }
+    if l == 16 && !static_rows.is_empty() {
+        let mut csv = milc_bench::provenance::header_comment(&exp.device);
+        csv.push_str("kernel,local_size,layout,predicted_us,measured_us,regret_pct\n");
+        for (kernel, ls, layout, predicted, measured, regret) in &static_rows {
+            csv.push_str(&format!(
+                "{kernel},{ls},{layout},{predicted:.3},{measured:.3},{:.2}\n",
+                regret * 100.0
+            ));
+        }
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write("results/tune_static.csv", &csv).expect("write results/tune_static.csv");
+        eprintln!(
+            "phase 3: wrote results/tune_static.csv ({} rows)",
+            static_rows.len()
         );
     }
 

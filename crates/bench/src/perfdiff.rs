@@ -187,6 +187,71 @@ pub fn parse_ranked_baseline(csv: &str) -> Result<Vec<RankedBaselineRow>, String
     Ok(out)
 }
 
+/// One row of a committed `results/tune_static.csv`: the winner a
+/// measurement-free sweep (`SweepMode::Static`) selected for one
+/// Table I configuration, with its predicted and measured durations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaticTuneBaselineRow {
+    /// Table I kernel label (`KernelConfig::label()`).
+    pub kernel: String,
+    /// The winning local size the static sweep predicted.
+    pub local_size: u32,
+    /// The winning shared-memory layout tag (`SharedLayout::tag()`).
+    pub layout: String,
+    /// The warm-calibrated predicted duration, µs.
+    pub predicted_us: f64,
+    /// The exhaustive sweep's measured duration of the same point, µs.
+    pub measured_us: f64,
+    /// Regret against the measured winner, percent.
+    pub regret_pct: f64,
+}
+
+/// Parse a committed `results/tune_static.csv` (provenance `#` comment
+/// lines, then header
+/// `kernel,local_size,layout,predicted_us,measured_us,regret_pct`).
+pub fn parse_static_tune_baseline(csv: &str) -> Result<Vec<StaticTuneBaselineRow>, String> {
+    let mut lines = csv
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("empty tune_static csv")?;
+    if header != "kernel,local_size,layout,predicted_us,measured_us,regret_pct" {
+        return Err(format!("tune_static csv has unexpected header {header:?}"));
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 6 {
+            return Err(format!("tune_static csv row {}: want 6 columns", i + 2));
+        }
+        let local_size: u32 = f[1]
+            .parse()
+            .map_err(|_| format!("tune_static csv row {}: bad local size {:?}", i + 2, f[1]))?;
+        if milc_dslash::SharedLayout::from_tag(f[2]).is_none() {
+            return Err(format!(
+                "tune_static csv row {}: unknown layout tag {:?}",
+                i + 2,
+                f[2]
+            ));
+        }
+        let num = |j: usize, what: &str| -> Result<f64, String> {
+            f[j].parse()
+                .map_err(|_| format!("tune_static csv row {}: bad {what} {:?}", i + 2, f[j]))
+        };
+        out.push(StaticTuneBaselineRow {
+            kernel: f[0].to_string(),
+            local_size,
+            layout: f[2].to_string(),
+            predicted_us: num(3, "predicted duration")?,
+            measured_us: num(4, "measured duration")?,
+            regret_pct: num(5, "regret")?,
+        });
+    }
+    if out.is_empty() {
+        return Err("tune_static csv has no data rows".to_string());
+    }
+    Ok(out)
+}
+
 /// One compared config.
 #[derive(Clone, Debug)]
 pub struct DiffRow {
@@ -405,6 +470,37 @@ mod tests {
             parse_ranked_baseline("kernel,local_size,layout,duration_us\n1LP,32,zigzag,1.0\n")
                 .is_err()
         );
+    }
+
+    #[test]
+    fn parses_the_committed_tune_static_format() {
+        let header = "kernel,local_size,layout,predicted_us,measured_us,regret_pct";
+        let csv = format!(
+            "# command: cargo run -p milc-bench --release --bin tune\n\
+             {header}\n\
+             3LP-1 k-major,96,xor2,850.250,875.123,0.00\n\
+             4LP-2 i-major,192,flat,1400.000,1412.900,1.25\n"
+        );
+        let base = parse_static_tune_baseline(&csv).unwrap();
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].kernel, "3LP-1 k-major");
+        assert_eq!(base[0].local_size, 96);
+        assert_eq!(base[0].layout, "xor2");
+        assert!((base[0].predicted_us - 850.25).abs() < 1e-9);
+        assert!((base[1].measured_us - 1412.9).abs() < 1e-9);
+        assert!((base[1].regret_pct - 1.25).abs() < 1e-9);
+        assert!(parse_static_tune_baseline("# only comments\n").is_err());
+        assert!(parse_static_tune_baseline(&format!("{header}\n")).is_err());
+        assert!(
+            parse_static_tune_baseline(&format!("{header}\n1LP,xyz,flat,1.0,1.0,0.0\n")).is_err()
+        );
+        assert!(
+            parse_static_tune_baseline(&format!("{header}\n1LP,32,zigzag,1.0,1.0,0.0\n")).is_err()
+        );
+        assert!(
+            parse_static_tune_baseline(&format!("{header}\n1LP,32,flat,1.0,abc,0.0\n")).is_err()
+        );
+        assert!(parse_static_tune_baseline(&format!("{header}\n1LP,32,flat,1.0\n")).is_err());
     }
 
     #[test]

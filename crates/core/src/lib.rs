@@ -53,13 +53,13 @@ pub use shard::{
     ShardMode, ShardOutcome, ShardedProblem,
 };
 pub use solver::{
-    solve, solve_tuned, solve_with, CgSolution, DeviceNormalOperator, NormalOp, NormalOperator,
-    TunedCgSolution,
+    estimate_solve_stream, solve, solve_tuned, solve_with, CgSolution, DeviceNormalOperator,
+    NormalOp, NormalOperator, TunedCgSolution,
 };
 pub use staticcheck::{
     estimate_config, occupancy_report, rank_candidates, run_config_staticcheck, staticcheck_kernel,
     RankedCandidate,
 };
 pub use strategy::{IndexOrder, IndexStyle, KernelConfig, Strategy};
-pub use tune::{TuneCache, TuneDecision, TuneEntry, TuneError, TuneKey, Tuner};
+pub use tune::{TuneCache, TuneDecision, TuneEntry, TuneError, TuneKey, TuneRegime, Tuner};
 pub use validate::{compare_to_reference, MaxError};

@@ -168,6 +168,17 @@ impl Metrics {
         reg.gauges.get(&Series::new(name, labels)).copied()
     }
 
+    /// A histogram series' `(count, sum)`, or `None` if never observed.
+    /// The sum of `launch_duration_us{config=...}` is the measured
+    /// total launch time of a traced run — what a stream estimate is
+    /// compared against.
+    pub fn histogram_sum(&self, name: &str, labels: &[(&str, &str)]) -> Option<(u64, f64)> {
+        let reg = self.inner.lock().expect("metrics lock");
+        reg.histograms
+            .get(&Series::new(name, labels))
+            .map(|h| (h.count, h.sum))
+    }
+
     /// Total series count across all instruments (for tests).
     pub fn series_count(&self) -> usize {
         let reg = self.inner.lock().expect("metrics lock");

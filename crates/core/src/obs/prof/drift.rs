@@ -18,22 +18,25 @@
 //! systematically overestimate the miss traffic — the model was built
 //! to be rank-faithful, not absolutely calibrated.  The overestimate
 //! is stable (measured/predicted sits in a ±8% band around
-//! [`DURATION_MODEL_SCALE`] across the whole Table I set), so the
-//! duration path compares against the *scaled* prediction and gates at
-//! 25% — wide enough for the model's documented softness, tight
-//! enough that a doubled duration (or a broken timing weight) trips
-//! it.
+//! [`duration_model_scale`] across the whole Table I set, per regime),
+//! so the duration path compares against the *scaled* prediction and
+//! gates at 25% — wide enough for the model's documented softness,
+//! tight enough that a doubled duration (or a broken timing weight)
+//! trips it.
 
 use gpu_sim::staticcheck::CostEstimate;
-use gpu_sim::{Counters, LaunchReport};
+use gpu_sim::{Counters, LaunchReport, Regime, RegimeCalibration};
 
-/// Calibrated ratio of measured duration to the analytic estimate —
-/// the static model's systematic cold-traffic overestimate, measured
-/// once over the twelve Table I configurations (the same
-/// calibrate-against-a-known-set move as
-/// [`gpu_sim::TimingModel::calibrated`]).  The drift gate holds each
-/// launch against `duration_us × DURATION_MODEL_SCALE`.
-pub const DURATION_MODEL_SCALE: f64 = 0.42;
+/// Calibrated ratio of measured duration to the analytic estimate for
+/// one regime — read from the *shared*
+/// [`RegimeCalibration::committed`] table, the same table the
+/// measurement-free tuner's reported durations come from, so the drift
+/// gate and the static ranking can never disagree on scale.  The gate
+/// holds each launch against `duration_in(regime) ×
+/// duration_model_scale(regime)`.
+pub fn duration_model_scale(regime: Regime) -> f64 {
+    RegimeCalibration::committed().scale(regime)
+}
 /// Gate tolerance for the (scale-corrected) duration path, percent.
 pub const DURATION_TOLERANCE_PCT: f64 = 25.0;
 /// Gate tolerance for the replay-exact traffic paths, percent.
@@ -107,13 +110,37 @@ impl DriftRow {
     }
 
     /// Compare from raw measured parts — lets callers inject an
-    /// inflated duration to prove the FAIL path.
+    /// inflated duration to prove the FAIL path.  Warm regime; use
+    /// [`Self::from_parts_in`] for cold launches.
     pub fn from_parts(
         kernel: &str,
         local_size: u32,
         measured_duration_us: f64,
         measured: &Counters,
         estimate: &CostEstimate,
+    ) -> Self {
+        Self::from_parts_in(
+            kernel,
+            local_size,
+            measured_duration_us,
+            measured,
+            estimate,
+            Regime::Warm,
+        )
+    }
+
+    /// [`Self::from_parts`] against an explicit cache [`Regime`]: the
+    /// duration path compares against the regime's analytic duration
+    /// scaled by the regime's entry in the shared calibration table.
+    /// The traffic paths are regime-independent (requests don't depend
+    /// on cache state) and compare as usual.
+    pub fn from_parts_in(
+        kernel: &str,
+        local_size: u32,
+        measured_duration_us: f64,
+        measured: &Counters,
+        estimate: &CostEstimate,
+        regime: Regime,
     ) -> Self {
         let e = &estimate.counters;
         Self {
@@ -123,7 +150,7 @@ impl DriftRow {
                 DriftPath::new(
                     "duration",
                     measured_duration_us,
-                    estimate.duration_us * DURATION_MODEL_SCALE,
+                    estimate.duration_in(regime) * duration_model_scale(regime),
                     DURATION_TOLERANCE_PCT,
                 ),
                 DriftPath::new(

@@ -22,7 +22,7 @@ pub mod roofline;
 
 pub use critical::{CriticalPath, RankOverlap, Step, StepKind};
 pub use drift::{
-    DriftPath, DriftReport, DriftRow, DURATION_MODEL_SCALE, DURATION_TOLERANCE_PCT,
+    duration_model_scale, DriftPath, DriftReport, DriftRow, DURATION_TOLERANCE_PCT,
     TRAFFIC_TOLERANCE_PCT,
 };
 pub use roofline::{Bottleneck, RooflineRow};

@@ -19,10 +19,14 @@ use crate::obs;
 use crate::operator::recommended_config;
 use crate::parallel_cpu::dslash_par_into;
 use crate::problem::DslashProblem;
+use crate::staticcheck::estimate_config;
 use crate::strategy::KernelConfig;
 use crate::tune::{TuneError, Tuner};
 use crate::validate::compare_to_reference;
-use gpu_sim::{DeviceSpec, DeviceState, Launcher, QueueMode};
+use gpu_sim::{
+    estimate_stream, DeviceSpec, DeviceState, Launcher, QueueMode, RegimeCalibration,
+    StreamEstimate,
+};
 use milc_complex::ComplexField;
 use milc_lattice::{ColorVector, GaugeField, Lattice, NeighborTable, Parity, QuarkField};
 
@@ -413,6 +417,48 @@ pub fn solve<C: ComplexField>(
 ) -> CgSolution<C> {
     let mut op = NormalOperator::new(gauge, mass);
     solve_with(&mut op, b, tol, max_iter)
+}
+
+/// Statically estimate the launch stream of a tuned CG solve — the
+/// [`DeviceNormalOperator`]'s exact launch mix, *without running it*:
+/// each operator application launches `D_oe` then `D_eo`, each on its
+/// own persistent [`DeviceState`], so per parity the first launch runs
+/// cold and the remaining `applies − 1` run warm.  `applies` counts
+/// operator applications (CG iterations plus the final true-residual
+/// check); the stream then holds `2 × applies` launches of which 2 are
+/// cold.  Durations compose per-kernel [`gpu_sim::CostEstimate`]s via
+/// [`gpu_sim::estimate_stream`] under the shared
+/// [`RegimeCalibration::committed`] table —
+/// [`StreamEstimate::calibrated_us`] is directly comparable to the
+/// solve's summed measured launch durations.
+///
+/// `cfg` and `local_size` should be the tuned decision (layout applied);
+/// counters are value-independent, so the estimate holds for any source
+/// vector.
+///
+/// # Errors
+/// The cost model's reason when either parity's launch cannot be
+/// estimated.
+pub fn estimate_solve_stream<C: ComplexField>(
+    gauge: &GaugeField<C>,
+    cfg: KernelConfig,
+    local_size: u32,
+    device: &DeviceSpec,
+    applies: u64,
+) -> Result<StreamEstimate, String> {
+    let lattice = gauge.lattice();
+    // Any deterministic source works: the estimated counters do not
+    // depend on the values flowing through the kernel.
+    let probe = QuarkField::random(lattice, 0x7E57_0CA5);
+    let oe = DslashProblem::from_fields(gauge.clone(), probe.clone(), Parity::Odd);
+    let eo = DslashProblem::from_fields(gauge.clone(), probe, Parity::Even);
+    let est_oe = estimate_config(&oe, cfg, local_size, device)?;
+    let est_eo = estimate_config(&eo, cfg, local_size, device)?;
+    Ok(estimate_stream(
+        &[&est_oe, &est_eo],
+        applies,
+        &RegimeCalibration::committed(),
+    ))
 }
 
 /// A CG solution produced on the simulated device at a tuned local

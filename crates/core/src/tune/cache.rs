@@ -24,8 +24,44 @@ use std::path::Path;
 /// On-disk format version; bump on any incompatible change to the entry
 /// schema or to the meaning of the modelled durations (e.g. a timing
 /// model recalibration), so stale winners are re-swept.  Version 2
-/// added the tuned local-memory `layout` tag to every entry.
-pub const TUNECACHE_VERSION: u64 = 2;
+/// added the tuned local-memory `layout` tag to every entry; version 3
+/// added the cache [`TuneRegime`] to the key (a cold-regime winner is
+/// not interchangeable with a warm one).
+pub const TUNECACHE_VERSION: u64 = 3;
+
+/// The cache regime a tuned entry's duration belongs to.  Warm entries
+/// (the default — Table I's and Fig. 6's measurement condition) were
+/// decided against caches already holding the launch's footprint; cold
+/// entries (e.g. the sharded halo-exchange tuner, whose per-rank
+/// launches alternate and evict each other) were decided against
+/// first-touch launches.  The regime is part of the key because the two
+/// rankings can legitimately disagree.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TuneRegime {
+    /// Decided under warm caches (after a warmup launch).
+    Warm,
+    /// Decided for first-touch (cold-cache) launches.
+    Cold,
+}
+
+impl TuneRegime {
+    /// Stable on-disk tag (`"warm"` / `"cold"`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TuneRegime::Warm => "warm",
+            TuneRegime::Cold => "cold",
+        }
+    }
+
+    /// Parse an on-disk tag; `None` for anything else.
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "warm" => Some(TuneRegime::Warm),
+            "cold" => Some(TuneRegime::Cold),
+            _ => None,
+        }
+    }
+}
 
 /// Stable FNV-1a hash of a device description.  Any field change —
 /// SM count, cache sizes, clocks — yields a different hash, so entries
@@ -53,30 +89,46 @@ pub struct TuneKey {
     /// Whether the sweep ran under the sanitizer (sanitized launches
     /// execute in a different mode; their durations are not comparable).
     pub sanitized: bool,
+    /// Cache regime the decision was made under (see [`TuneRegime`]).
+    pub regime: TuneRegime,
 }
 
 impl TuneKey {
-    /// Key for a kernel configuration on a lattice and device.
+    /// Key for a kernel configuration on a lattice and device, in the
+    /// default warm regime.
     pub fn new(device: &DeviceSpec, lattice: &Lattice, kernel: &str, sanitized: bool) -> Self {
+        Self::new_in_regime(device, lattice, kernel, sanitized, TuneRegime::Warm)
+    }
+
+    /// Key with an explicit [`TuneRegime`].
+    pub fn new_in_regime(
+        device: &DeviceSpec,
+        lattice: &Lattice,
+        kernel: &str,
+        sanitized: bool,
+        regime: TuneRegime,
+    ) -> Self {
         Self {
             device_hash: device_spec_hash(device),
             dims: lattice.dims(),
             kernel: kernel.to_string(),
             sanitized,
+            regime,
         }
     }
 
     /// The cache index string (also human-greppable in the JSON).
     pub fn id(&self) -> String {
         format!(
-            "dev:{:016x}|{}x{}x{}x{}|{}|{}",
+            "dev:{:016x}|{}x{}x{}x{}|{}|{}|{}",
             self.device_hash,
             self.dims[0],
             self.dims[1],
             self.dims[2],
             self.dims[3],
             self.kernel,
-            if self.sanitized { "sanitized" } else { "plain" }
+            if self.sanitized { "sanitized" } else { "plain" },
+            self.regime.tag()
         )
     }
 }
@@ -181,6 +233,7 @@ impl TuneCache {
                             ),
                             ("kernel".into(), Json::Str(e.key.kernel.clone())),
                             ("sanitized".into(), Json::Bool(e.key.sanitized)),
+                            ("regime".into(), Json::Str(e.key.regime.tag().to_string())),
                         ]),
                     ),
                     ("local_size".into(), Json::Num(f64::from(e.local_size))),
@@ -254,6 +307,11 @@ impl TuneCache {
                         .get("sanitized")
                         .and_then(Json::as_bool)
                         .ok_or(bad("bad sanitized flag"))?,
+                    regime: key
+                        .get("regime")
+                        .and_then(Json::as_str)
+                        .and_then(TuneRegime::from_tag)
+                        .ok_or(bad("bad regime tag"))?,
                 },
                 local_size: e
                     .get("local_size")
@@ -350,6 +408,7 @@ mod tests {
                 dims: [16, 16, 16, 16],
                 kernel: kernel.to_string(),
                 sanitized: false,
+                regime: TuneRegime::Warm,
             },
             local_size: ls,
             layout: "flat".into(),
@@ -392,6 +451,10 @@ mod tests {
                 sanitized: true,
                 ..e.key.clone()
             },
+            TuneKey {
+                regime: TuneRegime::Cold,
+                ..e.key.clone()
+            },
         ] {
             assert!(c.lookup(&variant).is_none(), "{variant:?} should miss");
         }
@@ -401,7 +464,7 @@ mod tests {
     fn version_mismatch_discards() {
         let text = TuneCache::new()
             .to_json()
-            .replace("\"version\": 2", "\"version\": 999");
+            .replace("\"version\": 3", "\"version\": 999");
         assert!(TuneCache::from_json(&text).is_err());
     }
 

@@ -28,10 +28,13 @@ pub mod cache;
 pub mod json;
 pub mod sweep;
 
-pub use cache::{device_spec_hash, LoadOutcome, TuneCache, TuneEntry, TuneKey, TUNECACHE_VERSION};
+pub use cache::{
+    device_spec_hash, LoadOutcome, TuneCache, TuneEntry, TuneKey, TuneRegime, TUNECACHE_VERSION,
+};
 pub use sweep::{
-    candidate_local_sizes, sweep_config, sweep_config_with_mode, sweep_layouts_with_mode,
-    CandidateOutcome, CandidatePoint, Reject, SweepError, SweepMode, SweepOutcome,
+    candidate_local_sizes, static_rank_order, sweep_config, sweep_config_with_mode,
+    sweep_layouts_with_mode, CandidateOutcome, CandidatePoint, Reject, SweepError, SweepMode,
+    SweepOutcome,
 };
 
 use crate::kernels::common::SharedLayout;
@@ -227,7 +230,7 @@ impl Tuner {
             layout: sweep.winner.layout.tag(),
             duration_us: sweep.winner.duration_us,
             gflops: sweep.winner.gflops,
-            candidates_ok: sweep.timed().count() as u32,
+            candidates_ok: (sweep.timed().count() + sweep.predicted().count()) as u32,
             candidates_rejected: sweep.rejected() as u32,
         };
         self.cache.insert(entry.clone());

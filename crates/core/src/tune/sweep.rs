@@ -16,13 +16,17 @@
 //! sweep in which *no* candidate survives is an error, not a fabricated
 //! winner.
 
+use crate::flops::theoretical_flops;
 use crate::kernels::common::SharedLayout;
 use crate::obs;
 use crate::problem::DslashProblem;
 use crate::runner::{run_config_warm, run_config_warm_on_state};
 use crate::staticcheck::{rank_candidates, staticcheck_kernel};
 use crate::strategy::KernelConfig;
-use gpu_sim::{lint_launch, DeviceSpec, DeviceState, QueueMode, SimError, StaticCheckConfig};
+use gpu_sim::{
+    lint_launch, DeviceSpec, DeviceState, QueueMode, Regime, RegimeCalibration, SimError,
+    StaticCheckConfig,
+};
 use milc_complex::ComplexField;
 
 /// How a sweep spends its timed launches.
@@ -40,6 +44,15 @@ pub enum SweepMode {
         /// How many top-ranked candidates to time (at least 1).
         time_top_k: usize,
     },
+    /// Measurement-free: pick the winner from the static ranking alone
+    /// — *zero* timed launches (`sweep_launches == 0`).  The winner is
+    /// recorded as [`CandidateOutcome::Predicted`] with its
+    /// warm-calibrated duration (the serving regime the tuner's timed
+    /// modes also report); every other candidate is rejected with
+    /// [`Reject::StaticRank`] or, when the cost model cannot estimate
+    /// it, [`Reject::Inestimable`] — a mode that never launches cannot
+    /// fall back to timing what it cannot rank.
+    Static,
 }
 
 /// Why a candidate local size was not timed / not eligible to win.
@@ -58,6 +71,10 @@ pub enum Reject {
         /// The cost model's predicted duration, µs.
         predicted_us: f64,
     },
+    /// A measurement-free sweep could not rank the candidate: the cost
+    /// model failed to estimate it (reason recorded), and
+    /// [`SweepMode::Static`] has no timing fallback.
+    Inestimable(String),
     /// The simulator refused or aborted the launch.
     Launch(SimError),
     /// The launch ran but its output diverged from the CPU reference.
@@ -78,6 +95,7 @@ impl std::fmt::Display for Reject {
                 f,
                 "static-rank: predicted rank #{rank} ({predicted_us:.1} µs), not timed"
             ),
+            Reject::Inestimable(why) => write!(f, "inestimable: {why}"),
             Reject::Launch(e) => write!(f, "launch: {e}"),
             Reject::Validation { rel, tol } => {
                 write!(f, "validation: rel error {rel:.3e} > tol {tol:.3e}")
@@ -111,6 +129,10 @@ pub struct CandidatePoint {
 pub enum CandidateOutcome {
     /// Timed and eligible.
     Timed(CandidatePoint),
+    /// Selected without a launch ([`SweepMode::Static`]): the point's
+    /// duration is the cost model's warm-calibrated prediction, its
+    /// occupancy/waves/tail come from the static occupancy analysis.
+    Predicted(CandidatePoint),
     /// Rejected, with the reason.
     Rejected {
         /// Local size that was rejected.
@@ -126,7 +148,7 @@ impl CandidateOutcome {
     /// The candidate's local size regardless of fate.
     pub fn local_size(&self) -> u32 {
         match self {
-            CandidateOutcome::Timed(p) => p.local_size,
+            CandidateOutcome::Timed(p) | CandidateOutcome::Predicted(p) => p.local_size,
             CandidateOutcome::Rejected { local_size, .. } => *local_size,
         }
     }
@@ -134,7 +156,7 @@ impl CandidateOutcome {
     /// The candidate's local-memory layout regardless of fate.
     pub fn layout(&self) -> SharedLayout {
         match self {
-            CandidateOutcome::Timed(p) => p.layout,
+            CandidateOutcome::Timed(p) | CandidateOutcome::Predicted(p) => p.layout,
             CandidateOutcome::Rejected { layout, .. } => *layout,
         }
     }
@@ -150,7 +172,8 @@ pub struct SweepOutcome {
     /// Kernel launches the sweep spent (warmup + timed).  An exhaustive
     /// sweep spends two per timed candidate; a ranked sweep warms once
     /// and times top-K back-to-back, so pruned *and* shared-warmup
-    /// launches are both avoided.
+    /// launches are both avoided; a [`SweepMode::Static`] sweep spends
+    /// exactly zero.
     pub sweep_launches: u64,
 }
 
@@ -159,7 +182,15 @@ impl SweepOutcome {
     pub fn timed(&self) -> impl Iterator<Item = &CandidatePoint> {
         self.candidates.iter().filter_map(|c| match c {
             CandidateOutcome::Timed(p) => Some(p),
-            CandidateOutcome::Rejected { .. } => None,
+            _ => None,
+        })
+    }
+
+    /// Candidates selected without a launch ([`SweepMode::Static`]).
+    pub fn predicted(&self) -> impl Iterator<Item = &CandidatePoint> {
+        self.candidates.iter().filter_map(|c| match c {
+            CandidateOutcome::Predicted(p) => Some(p),
+            _ => None,
         })
     }
 
@@ -229,6 +260,23 @@ impl std::error::Error for SweepError {}
 /// the global size, up to the 1024 maximum.
 pub fn candidate_local_sizes(cfg: KernelConfig, half_volume: u64) -> Vec<u32> {
     cfg.legal_local_sizes(half_volume)
+}
+
+/// The static decision order over `(layout, local size, predicted µs)`
+/// triples: ascending predicted duration, ties toward the smaller local
+/// size, then toward the layout using less local memory, then by layout
+/// tag.  Because no two distinct candidates share all four keys this is
+/// a strict total order — the sorted sequence (and hence the
+/// [`SweepMode::Static`] winner) is invariant under the enumeration
+/// order of the input.
+pub fn static_rank_order(cands: &mut [(SharedLayout, u32, f64)]) {
+    cands.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.0.required_bytes(a.1).cmp(&b.0.required_bytes(b.1)))
+            .then(a.0.tag().cmp(&b.0.tag()))
+    });
 }
 
 /// Lint one candidate the way `sancheck` would; empty = clean.
@@ -302,6 +350,11 @@ pub fn sweep_config<C: ComplexField>(
 /// and only the top `time_top_k` are launched; the pruned tail is
 /// recorded as [`Reject::StaticRank`] with its predicted rank.
 /// Candidates the model cannot estimate are timed unconditionally.
+///
+/// In [`SweepMode::Static`] no launch happens at all: the top-ranked
+/// candidate wins outright as [`CandidateOutcome::Predicted`], with its
+/// duration taken from the shared [`RegimeCalibration`] table's
+/// warm-regime scale.
 ///
 /// The sweep stays on the configuration's own
 /// [`shared_layout`](KernelConfig::shared_layout); use
@@ -413,12 +466,7 @@ fn sweep_layout_list<C: ComplexField>(
                 }
             }
         }
-        estimable.sort_by(|a, b| {
-            a.2.partial_cmp(&b.2)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-                .then(a.0.required_bytes(a.1).cmp(&b.0.required_bytes(b.1)))
-        });
+        static_rank_order(&mut estimable);
         let mut rank = 0usize;
         let k = time_top_k.max(1);
         for (layout, ls, predicted_us) in estimable {
@@ -437,6 +485,113 @@ fn sweep_layout_list<C: ComplexField>(
         span.attr("ranked_inestimable", inestimable as u64);
     }
 
+    // Measurement-free mode: the static ranking *is* the decision.
+    // Rank every gate-surviving candidate by the cost model's predicted
+    // warm duration (the serving regime — tuned kernels run warm after
+    // their first application); rank #1 wins as a Predicted point
+    // carrying its warm-calibrated duration, the rest are recorded as
+    // StaticRank rejects.  Zero launches are spent.
+    if mode == SweepMode::Static {
+        let cal = RegimeCalibration::committed();
+        let mut estimates: Vec<(SharedLayout, u32, f64)> = Vec::new();
+        let mut by_candidate: Vec<(SharedLayout, u32, Result<gpu_sim::CostEstimate, String>)> =
+            Vec::new();
+        for &layout in layouts {
+            for r in rank_candidates(problem, cfg.with_layout(layout), device) {
+                if let Ok(est) = &r.estimate {
+                    estimates.push((layout, r.local_size, est.duration_us));
+                }
+                by_candidate.push((layout, r.local_size, r.estimate));
+            }
+        }
+        static_rank_order(&mut estimates);
+        // Ranks count only gate survivors: a linted-out candidate must
+        // not displace the rank numbering of the ones still in play.
+        let mut ranks: Vec<(SharedLayout, u32, usize, f64)> = Vec::new();
+        for &(layout, ls, predicted_us) in &estimates {
+            if gated
+                .iter()
+                .any(|(l, c, rej)| *l == layout && *c == ls && rej.is_none())
+            {
+                ranks.push((layout, ls, ranks.len() + 1, predicted_us));
+            }
+        }
+        let flops = theoretical_flops(problem.lattice()) as f64;
+        let mut winner: Option<CandidatePoint> = None;
+        let mut outcomes = Vec::with_capacity(gated.len());
+        for (layout, ls, reject) in gated {
+            if let Some(reason) = reject {
+                outcomes.push(CandidateOutcome::Rejected {
+                    local_size: ls,
+                    layout,
+                    reason,
+                });
+                continue;
+            }
+            let Some(&(_, _, rank, predicted_us)) =
+                ranks.iter().find(|(l, c, _, _)| *l == layout && *c == ls)
+            else {
+                let why = by_candidate
+                    .iter()
+                    .find_map(|(l, c, e)| {
+                        (*l == layout && *c == ls).then(|| match e {
+                            Err(why) => why.clone(),
+                            Ok(_) => "estimate lost by the ranker".to_string(),
+                        })
+                    })
+                    .unwrap_or_else(|| "cost model produced no estimate".to_string());
+                outcomes.push(CandidateOutcome::Rejected {
+                    local_size: ls,
+                    layout,
+                    reason: Reject::Inestimable(why),
+                });
+                continue;
+            };
+            if rank == 1 {
+                let est = by_candidate
+                    .iter()
+                    .find_map(|(l, c, e)| (*l == layout && *c == ls).then(|| e.as_ref().ok()))
+                    .flatten()
+                    .expect("rank #1 came from a successful estimate");
+                let duration_us = cal.calibrated_us(est, Regime::Warm);
+                let point = CandidatePoint {
+                    local_size: ls,
+                    layout,
+                    duration_us,
+                    gflops: flops / duration_us / 1e3,
+                    occupancy: est.occupancy.achieved,
+                    waves: est.occupancy.waves,
+                    tail_fraction: est.occupancy.tail_fraction(),
+                };
+                winner = Some(point.clone());
+                outcomes.push(CandidateOutcome::Predicted(point));
+            } else {
+                outcomes.push(CandidateOutcome::Rejected {
+                    local_size: ls,
+                    layout,
+                    reason: Reject::StaticRank { rank, predicted_us },
+                });
+            }
+        }
+        return match winner {
+            Some(winner) => {
+                span.attr("winner_local_size", winner.local_size);
+                span.attr("winner_layout", winner.layout.tag());
+                span.attr("winner_duration_us", winner.duration_us);
+                span.attr("sweep_launches", 0u64);
+                Ok(SweepOutcome {
+                    winner,
+                    candidates: outcomes,
+                    sweep_launches: 0,
+                })
+            }
+            None => Err(SweepError::AllRejected {
+                kernel: cfg.label(),
+                candidates: outcomes,
+            }),
+        };
+    }
+
     // A ranked sweep times its survivors back-to-back on one shared
     // device state: the *global* access stream of a configuration is
     // the same for every local size and every local layout, so each
@@ -444,7 +599,8 @@ fn sweep_layout_list<C: ComplexField>(
     // would, and only the first candidate pays one.
     let mut shared: Option<(DeviceState, bool)> = match mode {
         SweepMode::Ranked { .. } => Some((DeviceState::new(device), false)),
-        SweepMode::Exhaustive => None,
+        // Static returned above; Exhaustive warms per candidate.
+        SweepMode::Exhaustive | SweepMode::Static => None,
     };
     let mut sweep_launches = 0u64;
     let mut outcomes = Vec::with_capacity(gated.len());
@@ -512,7 +668,7 @@ fn sweep_layout_list<C: ComplexField>(
         .iter()
         .filter_map(|c| match c {
             CandidateOutcome::Timed(p) => Some(p),
-            CandidateOutcome::Rejected { .. } => None,
+            _ => None,
         })
         // Strict "<" keeps the earlier candidate on ties — smaller
         // local size, then cheaper layout (the sweep order above).

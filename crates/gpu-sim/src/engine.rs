@@ -137,16 +137,7 @@ impl LaunchReport {
     /// smaller tail fraction finish sooner; exposed so tuning reports
     /// can attribute *why* a local size won.
     pub fn tail_fraction(&self) -> f64 {
-        let waves = self.occupancy.waves;
-        if waves <= 0.0 {
-            return 0.0;
-        }
-        let frac = waves.fract();
-        if frac == 0.0 {
-            0.0
-        } else {
-            (1.0 - frac) / waves.ceil()
-        }
+        self.occupancy.tail_fraction()
     }
 }
 

@@ -112,8 +112,8 @@ pub use sanitizer::{
     lint_launch, Finding, FindingKind, LintKind, SanitizerConfig, SanitizerReport,
 };
 pub use staticcheck::{
-    analyze as staticcheck_analyze, build_launch_model, estimate_launch, rank_estimates, spearman,
-    CostEstimate, LaunchModel, PhaseRep, SlotSummary, StaticCheckConfig, StaticReport,
-    TrafficPrediction,
+    analyze as staticcheck_analyze, build_launch_model, estimate_launch, estimate_stream,
+    rank_estimates, spearman, CostEstimate, LaunchModel, PhaseRep, Regime, RegimeCalibration,
+    SlotSummary, StaticCheckConfig, StaticReport, StreamEstimate, TrafficPrediction,
 };
 pub use timing::TimingModel;

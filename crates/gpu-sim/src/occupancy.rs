@@ -47,6 +47,26 @@ pub struct Occupancy {
     pub waves: f64,
 }
 
+impl Occupancy {
+    /// Fraction of the launch spent in the partial last wave: 0 for a
+    /// whole number of waves, approaching 1 when a nearly-empty tail
+    /// wave holds the device.  Shared between the dynamic engine's
+    /// `LaunchReport::tail_fraction` and static candidate ranking so
+    /// measured and predicted tuning reports attribute tails the same
+    /// way.
+    pub fn tail_fraction(&self) -> f64 {
+        if self.waves <= 0.0 {
+            return 0.0;
+        }
+        let frac = self.waves.fract();
+        if frac == 0.0 {
+            0.0
+        } else {
+            (1.0 - frac) / self.waves.ceil()
+        }
+    }
+}
+
 /// Small derate applied to achieved occupancy: even steady-state SMs
 /// spend a little time below full residency due to launch/drain skew.
 const ACHIEVED_DERATE: f64 = 0.99;

@@ -44,7 +44,10 @@ pub mod probe;
 pub mod proofs;
 pub mod traffic;
 
-pub use costmodel::{estimate_launch, rank_estimates, spearman, CostEstimate};
+pub use costmodel::{
+    estimate_launch, estimate_stream, rank_estimates, spearman, CostEstimate, Regime,
+    RegimeCalibration, StreamEstimate,
+};
 pub use footprint::{
     bank_normal_form, AddrForm, BankForm, LaunchModel, MemSlot, PhaseModel, ResidueShape, SlotKind,
 };

@@ -7,7 +7,7 @@
 
 use gpu_sim::{DeviceSpec, QueueMode};
 use milc_complex::{ComplexField, DoubleComplex};
-use milc_dslash::tune::{TuneCache, TuneEntry, TuneKey};
+use milc_dslash::tune::{TuneCache, TuneEntry, TuneKey, TuneRegime};
 use milc_dslash::{run_config, DslashProblem, IndexOrder, KernelConfig, Strategy};
 use milc_lattice::{ColorVector, GaugeField, Lattice, Parity, QuarkField};
 use proptest::collection;
@@ -145,6 +145,12 @@ fn make_entry(
             dims: [dim, dim, dim, dim],
             kernel: KERNEL_LABELS[kernel_idx % KERNEL_LABELS.len()].to_string(),
             sanitized,
+            // Alternate regimes so the roundtrip exercises both tags.
+            regime: if kernel_idx.is_multiple_of(2) {
+                TuneRegime::Warm
+            } else {
+                TuneRegime::Cold
+            },
         },
         local_size,
         // Cycle through every tag family so the JSON roundtrip and the
@@ -708,8 +714,10 @@ fn synthetic_estimate(local_size: u32, duration_us: f64) -> gpu_sim::CostEstimat
         num_groups: 64,
         occupancy: occ,
         counters: Counters::default(),
+        cold_counters: Counters::default(),
         footprint_bytes: 0,
         duration_us,
+        cold_duration_us: duration_us,
         notes: Vec::new(),
     }
 }
@@ -921,4 +929,169 @@ fn static_traffic_prediction_matches_dynamic_counters_exactly() {
             s.name()
         );
     }
+}
+
+/// A synthetic estimate with distinct warm and cold durations — the
+/// shape `estimate_stream` and the regime calibration consume.
+fn regime_estimate(duration_us: f64, cold_us: f64) -> gpu_sim::CostEstimate {
+    let mut e = synthetic_estimate(64, duration_us);
+    e.cold_duration_us = cold_us;
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver-stream estimate is monotone in the application count
+    /// (more applies, more time), empty at zero applies, and its launch
+    /// accounting is exact: `kernels × applies` launches of which one
+    /// per kernel is cold.
+    #[test]
+    fn stream_estimate_is_monotone_in_applications(
+        warm1 in 1.0f64..500.0,
+        warm2 in 1.0f64..500.0,
+        cold_factor in 1.0f64..3.0,
+        n1 in 1u64..300,
+        dn in 1u64..300,
+    ) {
+        use gpu_sim::{estimate_stream, RegimeCalibration};
+        let cal = RegimeCalibration::committed();
+        let k1 = regime_estimate(warm1, warm1 * cold_factor);
+        let k2 = regime_estimate(warm2, warm2 * cold_factor);
+        let kernels = [&k1, &k2];
+
+        let zero = estimate_stream(&kernels, 0, &cal);
+        prop_assert_eq!(zero.launches, 0);
+        prop_assert_eq!(zero.cold_launches, 0);
+        prop_assert_eq!(zero.duration_us, 0.0);
+        prop_assert_eq!(zero.calibrated_us, 0.0);
+
+        let a = estimate_stream(&kernels, n1, &cal);
+        let b = estimate_stream(&kernels, n1 + dn, &cal);
+        prop_assert_eq!(a.launches, 2 * n1);
+        prop_assert_eq!(a.cold_launches, 2);
+        prop_assert_eq!(b.launches, 2 * (n1 + dn));
+        prop_assert!(b.duration_us > a.duration_us,
+            "{} applies: {} µs, {} applies: {} µs",
+            n1, a.duration_us, n1 + dn, b.duration_us);
+        prop_assert!(b.calibrated_us > a.calibrated_us);
+        // The stream is exactly cold + (n-1)·warm per kernel.
+        let expect = (warm1 * cold_factor + warm2 * cold_factor)
+            + (n1 - 1) as f64 * (warm1 + warm2);
+        prop_assert!((a.duration_us - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    /// Real estimates never price a cold launch below a warm one — the
+    /// cold counter set only *adds* compulsory misses — and the
+    /// amortized per-launch duration decays monotonically from the cold
+    /// estimate toward the warm one as launches accumulate.
+    #[test]
+    fn cold_estimates_dominate_warm_on_real_kernels(
+        seed in 0u64..100,
+        cfg_idx in 0usize..3,
+        n in 1u64..1000,
+    ) {
+        use milc_dslash::estimate_config;
+        let (s, o, ls) = [
+            (Strategy::ThreeLp1, IndexOrder::KMajor, 96),
+            (Strategy::ThreeLp2, IndexOrder::IMajor, 96),
+            (Strategy::FourLp2, IndexOrder::IMajor, 96),
+        ][cfg_idx];
+        let p = DslashProblem::<Z>::random(2, seed);
+        let cfg = KernelConfig::new(s, o);
+        let est = estimate_config(&p, cfg, ls, &DeviceSpec::a100())
+            .unwrap_or_else(|e| panic!("{}: {e}", cfg.label()));
+        prop_assert!(est.cold_duration_us >= est.duration_us,
+            "{}: cold {} µs below warm {} µs",
+            cfg.label(), est.cold_duration_us, est.duration_us);
+        prop_assert!(
+            est.cold_counters.l2_sector_misses >= est.counters.l2_sector_misses,
+            "{}: cold launch predicted fewer L2 misses", cfg.label()
+        );
+        // Amortization interpolates: warm ≤ amortized(n+1) ≤ amortized(n) ≤ cold.
+        let a_n = est.amortized_duration_us(n);
+        let a_n1 = est.amortized_duration_us(n + 1);
+        prop_assert!(a_n <= est.cold_duration_us + 1e-12);
+        prop_assert!(a_n1 <= a_n + 1e-12);
+        prop_assert!(est.duration_us <= a_n1 + 1e-12);
+    }
+
+    /// `static_rank_order` is a total order: the ranking — winner
+    /// included — is invariant under any permutation of the candidate
+    /// list, so a measurement-free sweep cannot be steered by
+    /// enumeration order.
+    #[test]
+    fn static_rank_order_is_permutation_invariant(
+        cands in collection::vec((0usize..4, 0usize..5, 1.0f64..1000.0), 1..12),
+    ) {
+        use milc_dslash::tune::static_rank_order;
+        use milc_dslash::SharedLayout;
+        let layouts = [
+            SharedLayout::Flat,
+            SharedLayout::TUNABLE[0],
+            SharedLayout::TUNABLE[1],
+            SharedLayout::TUNABLE[2],
+        ];
+        const SIZES: [u32; 5] = [32, 64, 96, 128, 256];
+        let build = |v: &[(usize, usize, f64)]| -> Vec<(SharedLayout, u32, f64)> {
+            v.iter()
+                .map(|&(li, si, us)| (layouts[li], SIZES[si], us))
+                .collect()
+        };
+        let mut sorted = build(&cands);
+        static_rank_order(&mut sorted);
+        let mut reversed: Vec<_> = build(&cands).into_iter().rev().collect();
+        static_rank_order(&mut reversed);
+        for (a, b) in sorted.iter().zip(&reversed) {
+            prop_assert_eq!(a.0.tag(), b.0.tag());
+            prop_assert_eq!(a.1, b.1);
+            prop_assert_eq!(a.2, b.2);
+        }
+    }
+}
+
+/// A v1 cache file (pre-regime schema) must be *rejected by version* —
+/// never silently misread into regime-less keys — and the rejection is
+/// recoverable: the tuner starts fresh and can save a v3 cache over it.
+#[test]
+fn v1_cache_file_is_rejected_then_recovered() {
+    use milc_dslash::tune::{LoadOutcome, TUNECACHE_VERSION};
+    let path =
+        std::env::temp_dir().join(format!("static_tune_v1_cache_{}.json", std::process::id()));
+    // A plausible v1 file: version 1, entries without a regime field.
+    std::fs::write(
+        &path,
+        r#"{"version": 1, "entries": [{"key": {"device_hash": 1, "dims": [4,4,4,4],
+            "kernel": "1LP", "sanitized": false}, "local_size": 32,
+            "layout": "flat", "duration_us": 10.0, "gflops": 1.0,
+            "candidates_ok": 4, "candidates_rejected": 0}]}"#,
+    )
+    .unwrap();
+
+    let (cache, outcome) = TuneCache::load(&path);
+    assert_eq!(outcome, LoadOutcome::VersionMismatch { found: 1 });
+    assert_eq!(cache.len(), 0, "a stale-version cache must load empty");
+
+    // Recovery: a fresh cache saves over the stale file at the current
+    // version, and both regimes round-trip through it.
+    let mut cache = cache;
+    for (i, regime) in [TuneRegime::Warm, TuneRegime::Cold].into_iter().enumerate() {
+        let mut e = make_entry(7, 4, 0, false, 32, 10.0 + i as f64);
+        e.key.regime = regime;
+        cache.insert(e);
+    }
+    assert_eq!(cache.len(), 2, "warm and cold are distinct keys");
+    cache.save(&path).unwrap();
+    let (back, outcome) = TuneCache::load(&path);
+    assert_eq!(outcome, LoadOutcome::Loaded(2));
+    for (i, regime) in [TuneRegime::Warm, TuneRegime::Cold].into_iter().enumerate() {
+        let mut key = make_entry(7, 4, 0, false, 32, 1.0).key;
+        key.regime = regime;
+        let entry = back
+            .lookup(&key)
+            .unwrap_or_else(|| panic!("{regime:?} entry lost in the roundtrip"));
+        assert_eq!(entry.duration_us, 10.0 + i as f64);
+    }
+    const { assert!(TUNECACHE_VERSION > 1) };
+    std::fs::remove_file(&path).ok();
 }
